@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+The full experiment — 17 workloads x 12 variants, every run verified
+against the unoptimized gold execution — is performed once per session
+and shared by all table/figure benchmarks.  Regenerated artifacts are
+written to ``results/`` next to this directory.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import run_suite
+from repro.workloads import jbytemark_workloads, specjvm98_workloads
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def jbytemark_results():
+    return run_suite(jbytemark_workloads())
+
+
+@pytest.fixture(scope="session")
+def specjvm98_results():
+    return run_suite(specjvm98_workloads())
+
+
+def write_artifact(name: str, text: str) -> None:
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -1,0 +1,66 @@
+"""Theorem-level ablation: how much does each of Section 3's theorems
+contribute to array-subscript elimination?
+
+Runs the full algorithm with subsets of {Theorem 1..4} enabled and
+reports residual dynamic extensions on array-heavy workloads.
+"""
+
+import dataclasses
+
+from repro.core import VARIANTS, compile_program
+from repro.interp import Interpreter
+from repro.workloads import get_workload
+
+from conftest import write_artifact
+
+_WORKLOADS = ("numeric_sort", "huffman", "bitfield")
+
+_SETS = [
+    ("none", frozenset()),
+    ("T1 only", frozenset({1})),
+    ("T1+T2", frozenset({1, 2})),
+    ("T1+T2+T3", frozenset({1, 2, 3})),
+    ("all (T1-T4)", frozenset({1, 2, 3, 4})),
+]
+
+
+def _dyn(program, theorems):
+    config = dataclasses.replace(
+        VARIANTS["new algorithm (all)"], theorems=theorems
+    )
+    compiled = compile_program(program, config)
+    run = Interpreter(compiled.program, fuel=50_000_000).run()
+    return run.extends32
+
+
+def test_theorem_ablation(benchmark):
+    program = get_workload("numeric_sort").program()
+    benchmark.pedantic(
+        lambda: _dyn(program, frozenset({1, 2, 3, 4})),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Ablation: Section 3 theorems (residual dynamic extends)", ""]
+    header = f"{'theorems':14s}" + "".join(
+        f"{name:>14s}" for name in _WORKLOADS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    previous = None
+    for label, theorems in _SETS:
+        row = [f"{label:14s}"]
+        totals = []
+        for name in _WORKLOADS:
+            source = get_workload(name).program()
+            count = _dyn(source, theorems)
+            totals.append(count)
+            row.append(f"{count:>14d}")
+        lines.append("".join(row))
+        if previous is not None:
+            # Monotone: enabling more theorems never hurts.
+            assert all(c <= p for c, p in zip(totals, previous)), (
+                label, totals, previous
+            )
+        previous = totals
+    write_artifact("ablation_theorems.txt", "\n".join(lines))

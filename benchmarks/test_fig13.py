@@ -1,0 +1,46 @@
+"""Figure 13: run-time improvement over baseline, jBYTEmark.
+
+Run time is modelled cycles (see repro.machine.costs); the claim being
+reproduced is the figure's shape: every variant improves on the
+baseline, and the full algorithm gives the largest improvements.
+"""
+
+from repro.harness import format_performance_figure
+from repro.machine.costs import count_cycles
+
+from conftest import write_artifact
+
+
+def test_regenerate_figure13(jbytemark_results, benchmark):
+    # Benchmark the cost-model evaluation itself (it walks every
+    # instruction of every compiled variant).
+    sample = jbytemark_results[0]
+    cell = sample.cells["new algorithm (all)"]
+    benchmark.pedantic(
+        lambda: cell.cycles.improvement_over(sample.baseline.cycles),
+        rounds=50,
+        iterations=10,
+    )
+    assert count_cycles is not None  # the model these numbers come from
+
+    text = format_performance_figure(
+        jbytemark_results,
+        "Figure 13: modelled run-time improvement over baseline "
+        "(jBYTEmark, %)",
+    )
+    write_artifact("fig13.txt", text)
+
+    for result in jbytemark_results:
+        base = result.baseline.cycles
+        full = result.cells["new algorithm (all)"].cycles
+        assert full.improvement_over(base) >= 0.0
+
+    # The full algorithm is the best or tied-best performer on average.
+    def avg(variant):
+        return sum(
+            r.cells[variant].cycles.improvement_over(r.baseline.cycles)
+            for r in jbytemark_results
+        ) / len(jbytemark_results)
+
+    assert avg("new algorithm (all)") >= avg("first algorithm (bwd flow)")
+    assert avg("new algorithm (all)") >= avg("gen use")

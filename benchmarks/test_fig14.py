@@ -1,0 +1,42 @@
+"""Figure 14: run-time improvement over baseline, SPECjvm98.
+
+The paper singles out compress (and Huffman in Figure 13) as the big
+winners; both are extension-dense integer kernels, so the shape check
+here is that compress's improvement is above the suite median.
+"""
+
+import statistics
+
+from repro.harness import format_performance_figure
+
+from conftest import write_artifact
+
+
+def test_regenerate_figure14(specjvm98_results, benchmark):
+    sample = specjvm98_results[0]
+    benchmark.pedantic(
+        lambda: [
+            c.cycles.improvement_over(sample.baseline.cycles)
+            for c in sample.cells.values()
+        ],
+        rounds=20,
+        iterations=5,
+    )
+
+    text = format_performance_figure(
+        specjvm98_results,
+        "Figure 14: modelled run-time improvement over baseline "
+        "(SPECjvm98, %)",
+    )
+    write_artifact("fig14.txt", text)
+
+    improvements = {}
+    for result in specjvm98_results:
+        base = result.baseline.cycles
+        full = result.cells["new algorithm (all)"].cycles
+        improvement = full.improvement_over(base)
+        improvements[result.workload.name] = improvement
+        assert improvement >= 0.0
+
+    median = statistics.median(improvements.values())
+    assert improvements["compress"] >= median

@@ -1,0 +1,62 @@
+"""Table 1: dynamic counts of remaining 32-bit sign extensions,
+jBYTEmark.
+
+Regenerates the table, checks its paper shape, and benchmarks the JIT
+compilation of one representative benchmark under the full algorithm
+(the compile-time side of the trade-off the paper reports in Table 3).
+"""
+
+from repro.core import VARIANTS, compile_program
+from repro.harness import format_dynamic_count_table
+from repro.workloads import get_workload
+
+from conftest import write_artifact
+
+
+def _average_percent(results, variant):
+    values = [
+        r.cells[variant].percent_of(r.baseline) for r in results
+    ]
+    return sum(values) / len(values)
+
+
+def test_regenerate_table1(jbytemark_results, benchmark):
+    program = get_workload("numeric_sort").program()
+    benchmark.pedantic(
+        compile_program,
+        args=(program, VARIANTS["new algorithm (all)"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    text = format_dynamic_count_table(
+        jbytemark_results,
+        "Table 1: dynamic counts of remaining 32-bit sign extensions "
+        "(jBYTEmark)",
+    )
+    write_artifact("table1.txt", text)
+
+    # Paper shape: monotone improvement of the headline variants.
+    baseline = _average_percent(jbytemark_results, "baseline")
+    first = _average_percent(jbytemark_results, "first algorithm (bwd flow)")
+    array = _average_percent(jbytemark_results, "array")
+    full = _average_percent(jbytemark_results, "new algorithm (all)")
+    assert baseline == 100.0
+    assert first < baseline          # paper: 48.29%
+    assert array < first             # paper: 4.63%
+    assert full <= array + 1e-9      # paper: 4.58%
+    # The majority of extensions are eliminated (paper: >95% on average).
+    assert full < 50.0
+
+
+def test_paper_claims_jbytemark(jbytemark_results, benchmark):
+    """Every encoded paper claim must reproduce on this suite."""
+    from repro.harness import check_claims, format_claims
+
+    benchmark.pedantic(lambda: check_claims(jbytemark_results),
+                       rounds=5, iterations=2)
+    text = format_claims(jbytemark_results,
+                         "Paper claims vs measurements (jBYTEmark)")
+    write_artifact("claims_jbytemark.txt", text)
+    failures = [v for v in check_claims(jbytemark_results) if not v.holds]
+    assert not failures, failures

@@ -1,0 +1,64 @@
+"""Table 2: dynamic counts of remaining 32-bit sign extensions,
+SPECjvm98."""
+
+from repro.core import VARIANTS, compile_program
+from repro.harness import format_dynamic_count_table
+from repro.workloads import get_workload
+
+from conftest import write_artifact
+
+
+def _average_percent(results, variant):
+    values = [r.cells[variant].percent_of(r.baseline) for r in results]
+    return sum(values) / len(values)
+
+
+def test_regenerate_table2(specjvm98_results, benchmark):
+    program = get_workload("compress").program()
+    benchmark.pedantic(
+        compile_program,
+        args=(program, VARIANTS["new algorithm (all)"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    text = format_dynamic_count_table(
+        specjvm98_results,
+        "Table 2: dynamic counts of remaining 32-bit sign extensions "
+        "(SPECjvm98)",
+    )
+    write_artifact("table2.txt", text)
+
+    baseline = _average_percent(specjvm98_results, "baseline")
+    first = _average_percent(specjvm98_results,
+                             "first algorithm (bwd flow)")
+    basic = _average_percent(specjvm98_results, "basic ud/du")
+    array = _average_percent(specjvm98_results, "array")
+    full = _average_percent(specjvm98_results, "new algorithm (all)")
+    assert baseline == 100.0
+    assert first < baseline        # paper: 44.22%
+    assert basic <= first + 1e-9   # paper: 39.28%
+    assert array < basic           # paper: 15.02%
+    assert full <= array + 1e-9    # paper: 9.54%
+    assert full < 50.0
+
+
+def test_array_elimination_most_effective(specjvm98_results):
+    """'Sign extension elimination for array indices is most effective
+    for all the benchmark programs.'"""
+    for result in specjvm98_results:
+        basic = result.cells["basic ud/du"].dyn_extend32
+        array = result.cells["array"].dyn_extend32
+        assert array <= basic
+
+
+def test_paper_claims_specjvm98(specjvm98_results, benchmark):
+    from repro.harness import check_claims, format_claims
+
+    benchmark.pedantic(lambda: check_claims(specjvm98_results),
+                       rounds=5, iterations=2)
+    text = format_claims(specjvm98_results,
+                         "Paper claims vs measurements (SPECjvm98)")
+    write_artifact("claims_specjvm98.txt", text)
+    failures = [v for v in check_claims(specjvm98_results) if not v.holds]
+    assert not failures, failures

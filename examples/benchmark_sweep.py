@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Mini benchmark sweep: one workload, all twelve variants.
+
+A scaled-down version of what `pytest benchmarks/` does for the full
+suites — useful for a quick look at one benchmark's Table-1 column.
+
+Run:  python examples/benchmark_sweep.py [workload]
+      (default: huffman; try numeric_sort, compress, idea, ...)
+"""
+
+import sys
+
+from repro.harness import (
+    format_dynamic_count_table,
+    format_performance_figure,
+    run_workload,
+)
+from repro.workloads import JBYTEMARK, SPECJVM98, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "huffman"
+    if name not in JBYTEMARK + SPECJVM98:
+        print(f"unknown workload {name!r}; choose from:")
+        print("  " + ", ".join(JBYTEMARK + SPECJVM98))
+        raise SystemExit(1)
+
+    workload = get_workload(name)
+    print(f"{workload.display_name}: {workload.description}")
+    print("running all 12 variants (each verified against the gold "
+          "run)...\n")
+    results = run_workload(workload)
+
+    print(format_dynamic_count_table(
+        [results], f"Dynamic 32-bit sign extensions: {workload.display_name}"
+    ))
+    print()
+    print(format_performance_figure(
+        [results],
+        f"Modelled run-time improvement: {workload.display_name}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

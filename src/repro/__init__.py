@@ -1,0 +1,12 @@
+"""repro — a faithful reimplementation of "Effective Sign Extension
+Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+
+Public entry points:
+
+* :mod:`repro.frontend` — compile a Java-like mini language to the IR.
+* :mod:`repro.core` — the paper's sign-extension elimination pipeline.
+* :mod:`repro.interp` — machine-faithful execution and measurement.
+* :mod:`repro.harness` — regenerate the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"

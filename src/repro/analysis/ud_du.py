@@ -1,0 +1,159 @@
+"""UD/DU chains [Aho-Sethi-Ullman], the paper's workhorse structure.
+
+``EliminateOneExtend`` walks DU chains ("all instructions that use the
+destination operand of EXT") and UD chains ("all instructions that
+define the source operand of EXT"); ``AnalyzeARRAY`` recurses over both.
+
+The chains are built once from reaching definitions.  When the
+eliminator removes a same-register extension ``r = extend(r)`` it calls
+:meth:`Chains.bypass_and_remove`, which splices the extension out of the
+chains *conservatively* (former users of the extension now see every
+definition that reached the extension).  The splice may overapproximate
+reaching definitions along paths that never passed through the removed
+instruction; overapproximation only makes the analyses more
+conservative, never unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instruction import Instr, VReg
+from .dataflow import bit_indices
+from .reaching import Definition, ReachingDefinitions
+
+
+@dataclass(frozen=True)
+class Use:
+    """One use site: operand ``index`` of ``instr``."""
+
+    instr: Instr
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<use {self.instr}@{self.index}>"
+
+
+class Chains:
+    """UD and DU chains for one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.reaching = ReachingDefinitions(func)
+        self.definitions = self.reaching.definitions
+        #: use (instr uid, operand index) -> definitions reaching it
+        self._ud: dict[tuple[int, int], list[Definition]] = {}
+        #: definition index -> uses it reaches
+        self._du: dict[int, list[Use]] = {
+            d.index: [] for d in self.definitions
+        }
+        self._block_of_instr: dict[int, Block] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        reaching = self.reaching
+        for block in self.func.blocks:
+            live = reaching.reaching_in(block.label)
+            for instr in block.instrs:
+                self._block_of_instr[instr.uid] = block
+                for operand_index, src in enumerate(instr.srcs):
+                    mask = reaching.defs_of_reg_bits(src)
+                    def_indices = bit_indices(live & mask)
+                    defs = [self.definitions[i] for i in def_indices]
+                    self._ud[(instr.uid, operand_index)] = defs
+                    use = Use(instr, operand_index)
+                    for definition in defs:
+                        self._du[definition.index].append(use)
+                if instr.dest is not None:
+                    definition = reaching.def_of_instr[instr.uid]
+                    same_reg = reaching.defs_of_reg_bits(instr.dest)
+                    live = (live & ~same_reg) | (1 << definition.index)
+
+    # -- queries ---------------------------------------------------------------
+
+    def defs_for(self, instr: Instr, operand_index: int) -> list[Definition]:
+        """UD chain: definitions reaching operand ``operand_index``."""
+        return self._ud.get((instr.uid, operand_index), [])
+
+    def uses_of(self, instr: Instr) -> list[Use]:
+        """DU chain: uses reached by the definition made by ``instr``."""
+        definition = self.reaching.def_of_instr.get(instr.uid)
+        if definition is None:
+            return []
+        return self._du[definition.index]
+
+    def uses_of_param(self, reg: VReg) -> list[Use]:
+        for definition in self.definitions:
+            if definition.is_param and definition.reg.name == reg.name:
+                return self._du[definition.index]
+        return []
+
+    def definition_of(self, instr: Instr) -> Definition | None:
+        return self.reaching.def_of_instr.get(instr.uid)
+
+    def block_of(self, instr: Instr) -> Block:
+        return self._block_of_instr[instr.uid]
+
+    # -- incremental update ------------------------------------------------------
+
+    def bypass_and_remove(self, instr: Instr) -> None:
+        """Remove a same-register pass-through ``r = op(r)`` instruction
+        (an ``extend`` or dummy marker) and splice the chains around it.
+
+        Every use that saw this instruction's definition now also sees
+        the definitions that reached the instruction's source operand,
+        and vice versa.
+        """
+        if not (instr.dest is not None and len(instr.srcs) == 1
+                and instr.dest.name == instr.srcs[0].name):
+            raise ValueError(f"not a same-register pass-through: {instr}")
+
+        definition = self.reaching.def_of_instr[instr.uid]
+        upstream = list(self._ud.get((instr.uid, 0), []))
+        # The definition may reach the instruction's own operand around
+        # a loop back edge; that self-use vanishes with the instruction
+        # and must not be re-attached to the upstream definitions.
+        downstream = [
+            use for use in self._du[definition.index]
+            if use.instr is not instr
+        ]
+
+        for use in downstream:
+            chain = self._ud[(use.instr.uid, use.index)]
+            chain[:] = [d for d in chain if d is not definition]
+            for up_def in upstream:
+                if up_def not in chain:
+                    chain.append(up_def)
+
+        for up_def in upstream:
+            du_chain = self._du[up_def.index]
+            du_chain[:] = [u for u in du_chain if u.instr.uid != instr.uid]
+            for use in downstream:
+                if use not in du_chain:
+                    du_chain.append(use)
+
+        self._du[definition.index] = []
+        self._ud.pop((instr.uid, 0), None)
+
+        block = self._block_of_instr.pop(instr.uid)
+        block.remove(instr)
+
+    def remove_leaf(self, instr: Instr) -> None:
+        """Remove an instruction whose definition has no remaining uses
+        (used to drop dummy markers after elimination)."""
+        definition = self.reaching.def_of_instr.get(instr.uid)
+        if definition is not None:
+            for operand_index in range(len(instr.srcs)):
+                for up_def in self._ud.get((instr.uid, operand_index), []):
+                    du_chain = self._du[up_def.index]
+                    du_chain[:] = [
+                        u for u in du_chain if u.instr.uid != instr.uid
+                    ]
+                self._ud.pop((instr.uid, operand_index), None)
+            self._du[definition.index] = []
+        block = self._block_of_instr.pop(instr.uid)
+        block.remove(instr)

@@ -1,0 +1,231 @@
+"""Command-line driver: compile, optimize, run, and inspect J32 programs.
+
+Usage::
+
+    python -m repro run program.j32            # compile + execute
+    python -m repro ir program.j32             # dump optimized IR
+    python -m repro asm program.j32 --machine ppc64
+    python -m repro variants program.j32       # all 12 table rows
+    python -m repro bench huffman              # one workload sweep
+
+Every optimized execution is checked against the unoptimized gold run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .core import VARIANTS, compile_program
+from .frontend import compile_source
+from .interp import Interpreter
+from .ir import format_program
+from .machine import MACHINES
+from .machine.costs import count_cycles
+from .machine.lower import lower_function
+
+
+def _load(path: str):
+    source = pathlib.Path(path).read_text()
+    return compile_source(source, pathlib.Path(path).stem)
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--variant", default="new algorithm (all)",
+                        choices=sorted(VARIANTS),
+                        help="optimization variant (a Table 1/2 row)")
+    parser.add_argument("--machine", default="ia64",
+                        choices=sorted(MACHINES), help="target traits")
+    parser.add_argument("--fuel", type=int, default=100_000_000,
+                        help="interpreter step budget")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    traits = MACHINES[args.machine]
+    gold = Interpreter(program, mode="ideal", fuel=args.fuel).run()
+    config = VARIANTS[args.variant].with_traits(traits)
+    compiled = compile_program(program, config)
+    run = Interpreter(compiled.program, traits=traits, fuel=args.fuel).run()
+    if run.observable() != gold.observable():
+        print("ERROR: optimized behaviour diverged from gold run",
+              file=sys.stderr)
+        return 1
+    cycles = count_cycles(compiled.program, run, traits)
+    print(f"result    : {run.ret_value}")
+    print(f"checksum  : {run.checksum:#018x} (verified against gold)")
+    print(f"steps     : {run.steps}")
+    print(f"extends   : 32-bit {run.extend_counts[32]}, "
+          f"16-bit {run.extend_counts[16]}, 8-bit {run.extend_counts[8]}")
+    print(f"cycles    : {cycles.total:.0f} modelled "
+          f"({cycles.extend_cycles:.0f} in sign extensions)")
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    traits = MACHINES[args.machine]
+    config = VARIANTS[args.variant].with_traits(traits)
+    compiled = compile_program(program, config)
+    print(format_program(compiled.program))
+    return 0
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    traits = MACHINES[args.machine]
+    config = VARIANTS[args.variant].with_traits(traits)
+    compiled = compile_program(program, config)
+    for func in compiled.program.functions.values():
+        code = lower_function(func, traits)
+        print(code.text)
+        print()
+    return 0
+
+
+def cmd_variants(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    traits = MACHINES[args.machine]
+    gold = Interpreter(program, mode="ideal", fuel=args.fuel).run()
+    baseline = None
+    print(f"{'variant':30s}{'dyn ext32':>12s}{'% of base':>12s}"
+          f"{'cycles':>14s}")
+    for name, config in VARIANTS.items():
+        compiled = compile_program(program, config.with_traits(traits))
+        run = Interpreter(compiled.program, traits=traits,
+                          fuel=args.fuel).run()
+        if run.observable() != gold.observable():
+            print(f"{name:30s}  BEHAVIOUR DIVERGED", file=sys.stderr)
+            return 1
+        cycles = count_cycles(compiled.program, run, traits)
+        if baseline is None:
+            baseline = run.extends32 or 1
+        print(f"{name:30s}{run.extends32:>12d}"
+              f"{100 * run.extends32 / baseline:>11.2f}%"
+              f"{cycles.total:>14.0f}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import (
+        export_json,
+        format_dynamic_count_table,
+        run_workload,
+    )
+    from .workloads import JBYTEMARK, SPECJVM98, get_workload
+
+    if args.workload not in JBYTEMARK + SPECJVM98:
+        print(f"unknown workload {args.workload!r}; available: "
+              + ", ".join(JBYTEMARK + SPECJVM98), file=sys.stderr)
+        return 1
+    results = run_workload(get_workload(args.workload))
+    print(format_dynamic_count_table(
+        [results], f"Dynamic 32-bit sign extensions: {args.workload}"
+    ))
+    if args.json:
+        export_json([results], args.json)
+        print(f"\n[json written to {args.json}]")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a whole suite and write tables, figures, and JSON."""
+    import pathlib as _pathlib
+
+    from .harness import (
+        export_json,
+        format_dynamic_count_table,
+        format_percent_figure,
+        format_performance_figure,
+        format_timing_table,
+        run_suite,
+    )
+    from .workloads import jbytemark_workloads, specjvm98_workloads
+
+    suites = {
+        "jbytemark": jbytemark_workloads,
+        "specjvm98": specjvm98_workloads,
+    }
+    out_dir = _pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for suite_name in (args.suite,) if args.suite else tuple(suites):
+        results = run_suite(suites[suite_name]())
+        sections = [
+            format_dynamic_count_table(
+                results, f"Dynamic 32-bit sign extensions ({suite_name})"
+            ),
+            format_percent_figure(
+                results, f"Residual extensions, % of baseline ({suite_name})"
+            ),
+            format_performance_figure(
+                results, f"Modelled run-time improvement ({suite_name})"
+            ),
+            format_timing_table(results),
+        ]
+        text_path = out_dir / f"{suite_name}.txt"
+        text_path.write_text("\n\n".join(sections) + "\n")
+        export_json(results, str(out_dir / f"{suite_name}.json"))
+        print(f"wrote {text_path} and {suite_name}.json")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Effective Sign Extension Elimination (PLDI 2002) — "
+                    "compile, optimize, and measure J32 programs.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="compile and execute")
+    run_parser.add_argument("file")
+    _common_args(run_parser)
+    run_parser.set_defaults(fn=cmd_run)
+
+    ir_parser = subparsers.add_parser("ir", help="dump optimized IR")
+    ir_parser.add_argument("file")
+    _common_args(ir_parser)
+    ir_parser.set_defaults(fn=cmd_ir)
+
+    asm_parser = subparsers.add_parser(
+        "asm", help="dump assembly-flavoured lowering"
+    )
+    asm_parser.add_argument("file")
+    _common_args(asm_parser)
+    asm_parser.set_defaults(fn=cmd_asm)
+
+    variants_parser = subparsers.add_parser(
+        "variants", help="run all 12 algorithm variants"
+    )
+    variants_parser.add_argument("file")
+    _common_args(variants_parser)
+    variants_parser.set_defaults(fn=cmd_variants)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="sweep one named benchmark workload"
+    )
+    bench_parser.add_argument("workload")
+    bench_parser.add_argument("--json", default=None,
+                              help="also write results as JSON")
+    bench_parser.set_defaults(fn=cmd_bench)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run a whole suite; write tables, figures, JSON"
+    )
+    report_parser.add_argument("--suite", default=None,
+                               choices=["jbytemark", "specjvm98"],
+                               help="one suite (default: both)")
+    report_parser.add_argument("--out", default="report",
+                               help="output directory")
+    report_parser.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

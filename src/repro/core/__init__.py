@@ -1,0 +1,50 @@
+"""The paper's contribution: sign-extension elimination.
+
+Entry point: :func:`compile_program` with a :class:`SignExtConfig`
+(pick one from :data:`VARIANTS` to reproduce a table row).
+"""
+
+from .analyze import Eliminator
+from .config import (
+    Algorithm,
+    Placement,
+    REFERENCE_VARIANTS,
+    SignExtConfig,
+    VARIANTS,
+)
+from .convert64 import convert_function, convert_program
+from .elimination import FunctionStats, run_sign_extension_elimination
+from .first_algorithm import is_removable_extend32, run_first_algorithm
+from .insertion import (
+    function_has_loop,
+    insert_before_requiring_uses,
+    insert_dummy_markers,
+    remove_dummy_markers,
+)
+from .ordering import is_candidate_extend, order_candidates
+from .pde_insertion import run_pde_insertion
+from .pipeline import CompileResult, compile_program
+
+__all__ = [
+    "Algorithm",
+    "CompileResult",
+    "Eliminator",
+    "FunctionStats",
+    "Placement",
+    "REFERENCE_VARIANTS",
+    "SignExtConfig",
+    "VARIANTS",
+    "compile_program",
+    "convert_function",
+    "convert_program",
+    "function_has_loop",
+    "insert_before_requiring_uses",
+    "insert_dummy_markers",
+    "is_candidate_extend",
+    "is_removable_extend32",
+    "order_candidates",
+    "remove_dummy_markers",
+    "run_first_algorithm",
+    "run_pde_insertion",
+    "run_sign_extension_elimination",
+]

@@ -1,0 +1,83 @@
+"""Configuration of the sign-extension pipeline and the paper's variants.
+
+Each row of Tables 1 and 2 is one :class:`SignExtConfig`; the
+``VARIANTS`` registry lists them in the paper's order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..ir.types import JAVA_MAX_ARRAY_LENGTH
+from ..machine.model import IA64, MachineTraits
+
+
+class Placement(enum.Enum):
+    """Where conversion generates sign extensions (Figure 6)."""
+
+    GEN_DEF = "gen_def"  # after every definition (the paper's choice)
+    GEN_USE = "gen_use"  # before every requiring use (the reference)
+
+
+class Algorithm(enum.Enum):
+    NONE = "none"  # Figure 5 step 3 disabled
+    BWD_FLOW = "bwd_flow"  # the first algorithm: backward dataflow
+    UD_DU = "ud_du"  # the new algorithm: UD/DU chains
+
+
+@dataclass(frozen=True)
+class SignExtConfig:
+    """All knobs of the sign-extension machinery."""
+
+    placement: Placement = Placement.GEN_DEF
+    algorithm: Algorithm = Algorithm.UD_DU
+    #: phase (3)-1 — insert extensions before requiring instructions
+    insert: bool = False
+    #: use the PDE-variant insertion instead of the simple algorithm
+    insert_pde: bool = False
+    #: phase (3)-2 — eliminate hottest regions first
+    order: bool = False
+    #: Section 3 — array-subscript elimination via Theorems 1-4
+    array: bool = False
+    #: run the general optimizations of Figure 5 step 2
+    general_opts: bool = True
+    #: maximum array length assumed by Theorem 4
+    max_array_length: int = JAVA_MAX_ARRAY_LENGTH
+    #: which of Section 3's theorems AnalyzeARRAY may use (for ablation)
+    theorems: frozenset[int] = frozenset({1, 2, 3, 4})
+    #: use interpreter-collected branch profiles for order determination
+    use_profile: bool = True
+    traits: MachineTraits = field(default=IA64)
+
+    def with_traits(self, traits: MachineTraits) -> "SignExtConfig":
+        return replace(self, traits=traits)
+
+
+def _variant(**kwargs) -> SignExtConfig:
+    return SignExtConfig(**kwargs)
+
+
+#: The rows of Tables 1 and 2, in the paper's order.
+VARIANTS: dict[str, SignExtConfig] = {
+    "baseline": _variant(algorithm=Algorithm.NONE),
+    "gen use": _variant(placement=Placement.GEN_USE, algorithm=Algorithm.NONE),
+    "first algorithm (bwd flow)": _variant(algorithm=Algorithm.BWD_FLOW),
+    "basic ud/du": _variant(algorithm=Algorithm.UD_DU),
+    "insert": _variant(algorithm=Algorithm.UD_DU, insert=True),
+    "order": _variant(algorithm=Algorithm.UD_DU, order=True),
+    "insert, order": _variant(algorithm=Algorithm.UD_DU, insert=True, order=True),
+    "array": _variant(algorithm=Algorithm.UD_DU, array=True),
+    "array, insert": _variant(algorithm=Algorithm.UD_DU, array=True, insert=True),
+    "array, order": _variant(algorithm=Algorithm.UD_DU, array=True, order=True),
+    "all, using PDE": _variant(
+        algorithm=Algorithm.UD_DU, array=True, insert=True, insert_pde=True,
+        order=True,
+    ),
+    "new algorithm (all)": _variant(
+        algorithm=Algorithm.UD_DU, array=True, insert=True, order=True
+    ),
+}
+
+#: Rows the paper marks as reference-only.
+REFERENCE_VARIANTS = frozenset({"gen use", "all, using PDE"})

@@ -1,0 +1,80 @@
+"""Phase 3 driver: insertion, order determination, elimination.
+
+Chains are built once (the paper's "UD/DU chain creation" budget line)
+and spliced incrementally as extensions are removed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.frequency import BranchProfile
+from ..analysis.ud_du import Chains
+from ..ir.function import Function
+from ..opt.pass_manager import BUCKET_CHAINS, BUCKET_SIGN_EXT, Timing
+from .analyze import Eliminator
+from .config import SignExtConfig
+from .insertion import (
+    insert_before_requiring_uses,
+    insert_dummy_markers,
+    remove_dummy_markers,
+)
+from .ordering import order_candidates
+from .pde_insertion import run_pde_insertion
+
+
+@dataclass
+class FunctionStats:
+    """What phase 3 did to one function."""
+
+    name: str = ""
+    inserted: int = 0
+    dummies: int = 0
+    candidates: int = 0
+    eliminated: int = 0
+    eliminated_by_width: dict[int, int] = field(
+        default_factory=lambda: {8: 0, 16: 0, 32: 0}
+    )
+
+
+def run_sign_extension_elimination(
+    func: Function,
+    config: SignExtConfig,
+    profile: BranchProfile | None = None,
+    timing: Timing | None = None,
+) -> FunctionStats:
+    """Run phase 3 (the new algorithm) on one converted function."""
+    stats = FunctionStats(name=func.name)
+    timing = timing if timing is not None else Timing()
+
+    start = time.perf_counter()
+    stats.dummies = insert_dummy_markers(func)
+    if config.insert:
+        if config.insert_pde:
+            stats.inserted = run_pde_insertion(func, config.traits)
+        else:
+            stats.inserted = insert_before_requiring_uses(func, config.traits)
+    candidates = order_candidates(
+        func,
+        use_order=config.order,
+        profile=profile if config.use_profile else None,
+    )
+    stats.candidates = len(candidates)
+    timing.add(BUCKET_SIGN_EXT, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    chains = Chains(func)
+    timing.add(BUCKET_CHAINS, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    eliminator = Eliminator(func, chains, config)
+    from ..ir.opcodes import EXTEND_BITS
+
+    for ext in candidates:
+        if eliminator.try_eliminate(ext):
+            stats.eliminated += 1
+            stats.eliminated_by_width[EXTEND_BITS[ext.opcode]] += 1
+    remove_dummy_markers(func)
+    timing.add(BUCKET_SIGN_EXT, time.perf_counter() - start)
+    return stats

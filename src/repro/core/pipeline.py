@@ -1,0 +1,124 @@
+"""The full compilation pipeline of Figure 5.
+
+(1) conversion for a 64-bit architecture →
+(2) general optimizations (constant folding, copy propagation,
+    simplification, the PRE-variant CSE/LICM, DCE) →
+(3) elimination and movement of sign extension
+    ((3)-1 insertion, (3)-2 order determination, (3)-3 elimination).
+
+``compile_program`` clones the input (the same 32-bit-form source is
+compiled under many variant configurations by the harness) and returns
+the compiled program plus timing and per-function statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.frequency import BranchProfile
+from ..ir.clone import clone_program
+from ..ir.function import Function, Program
+from ..opt import (
+    BUCKET_OTHERS,
+    BUCKET_SIGN_EXT,
+    Timing,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    hoist_loop_invariants,
+    inline_small_functions,
+    propagate_copies,
+    simplify,
+)
+from .config import Algorithm, SignExtConfig
+from .convert64 import convert_function
+from .elimination import FunctionStats, run_sign_extension_elimination
+from .first_algorithm import run_first_algorithm
+
+
+@dataclass
+class CompileResult:
+    program: Program
+    config: SignExtConfig
+    timing: Timing
+    function_stats: dict[str, FunctionStats] = field(default_factory=dict)
+
+    @property
+    def total_eliminated(self) -> int:
+        return sum(s.eliminated for s in self.function_stats.values())
+
+    @property
+    def static_extend_count(self) -> int:
+        from ..ir.opcodes import EXTEND_OPS
+
+        total = 0
+        for func in self.program.functions.values():
+            for _, instr in func.instructions():
+                if instr.opcode in EXTEND_OPS:
+                    total += 1
+        return total
+
+
+def compile_program(
+    source: Program,
+    config: SignExtConfig,
+    profiles: dict[str, BranchProfile] | None = None,
+    *,
+    clone: bool = True,
+) -> CompileResult:
+    """Compile a 32-bit-form program to 64-bit machine form."""
+    program = clone_program(source) if clone else source
+    timing = Timing()
+
+    if config.general_opts:
+        # Method inlining runs whole-program, pre-conversion, and is
+        # deterministic so the profiler's inlined copy has matching
+        # block labels (see repro.opt.inline).
+        start = time.perf_counter()
+        inline_small_functions(program)
+        timing.add(BUCKET_OTHERS, time.perf_counter() - start)
+
+    stats: dict[str, FunctionStats] = {}
+    for func in program.functions.values():
+        profile = (profiles or {}).get(func.name)
+        stats[func.name] = _compile_function(func, config, profile, timing)
+    return CompileResult(program, config, timing, stats)
+
+
+def _compile_function(
+    func: Function,
+    config: SignExtConfig,
+    profile: BranchProfile | None,
+    timing: Timing,
+) -> FunctionStats:
+    start = time.perf_counter()
+    convert_function(func, config.traits, config.placement)
+    if config.general_opts:
+        _run_general_opts(func)
+    timing.add(BUCKET_OTHERS, time.perf_counter() - start)
+
+    if config.algorithm is Algorithm.NONE:
+        return FunctionStats(name=func.name)
+    if config.algorithm is Algorithm.BWD_FLOW:
+        start = time.perf_counter()
+        removed = run_first_algorithm(func, config.traits)
+        timing.add(BUCKET_SIGN_EXT, time.perf_counter() - start)
+        stats = FunctionStats(name=func.name, eliminated=removed)
+        stats.eliminated_by_width[32] = removed
+        return stats
+    return run_sign_extension_elimination(func, config, profile, timing)
+
+
+def _run_general_opts(func: Function) -> None:
+    """Figure 5 step 2.  Two rounds are enough in practice."""
+    for _ in range(2):
+        changed = fold_constants(func)
+        changed |= simplify(func)
+        changed |= propagate_copies(func)
+        changed |= eliminate_common_subexpressions(func)
+        changed |= hoist_loop_invariants(func)
+        changed |= propagate_copies(func)
+        changed |= eliminate_dead_code(func)
+        if not changed:
+            break

@@ -1,0 +1,44 @@
+"""J32 frontend: a Java-subset mini language compiled to the repro IR.
+
+Use :func:`compile_source` to turn source text into a 32-bit-form
+:class:`~repro.ir.function.Program` ready for the Figure-5 pipeline.
+"""
+
+from .ast import (
+    BOOLEAN,
+    BYTE,
+    CHAR,
+    DOUBLE,
+    INT,
+    JType,
+    LONG,
+    Prim,
+    SHORT,
+    VOID,
+)
+from .errors import LexError, ParseError, SourceError, TypeError_
+from .lexer import TokKind, Token, tokenize
+from .lower import compile_source
+from .parser import parse
+
+__all__ = [
+    "BOOLEAN",
+    "BYTE",
+    "CHAR",
+    "DOUBLE",
+    "INT",
+    "JType",
+    "LONG",
+    "LexError",
+    "ParseError",
+    "Prim",
+    "SHORT",
+    "SourceError",
+    "TokKind",
+    "Token",
+    "TypeError_",
+    "VOID",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

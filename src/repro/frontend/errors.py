@@ -1,0 +1,25 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """A lexing, parsing, or type error with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+
+
+class LexError(SourceError):
+    pass
+
+
+class ParseError(SourceError):
+    pass
+
+
+class TypeError_(SourceError):
+    """Named with a trailing underscore to avoid shadowing the builtin."""

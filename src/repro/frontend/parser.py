@@ -1,0 +1,425 @@
+"""Recursive-descent parser for J32."""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import JType, Prim
+from .errors import ParseError
+from .lexer import TokKind, Token, tokenize
+
+_PRIMS = {p.value: p for p in Prim}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=", ">>>="}
+
+# Binary precedence levels, loosest first (&&/|| handled separately).
+_BINARY_LEVELS = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>", ">>>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokKind.EOF:
+            self.position += 1
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        if not self.current.is_op(text):
+            raise ParseError(f"expected {text!r}, got {self.current.text!r}",
+                             self.current.line, self.current.column)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, got {self.current.text!r}",
+                             self.current.line, self.current.column)
+        return self.advance()
+
+    def accept_op(self, text: str) -> bool:
+        if self.current.is_op(text):
+            self.advance()
+            return True
+        return False
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.line, self.current.column)
+
+    # -- types ------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return (self.current.kind is TokKind.KEYWORD
+                and self.current.text in _PRIMS)
+
+    def parse_type(self) -> JType:
+        token = self.advance()
+        if token.text not in _PRIMS:
+            raise ParseError(f"expected type, got {token.text!r}",
+                             token.line, token.column)
+        dims = 0
+        while self.current.is_op("[") and self.peek().is_op("]"):
+            self.advance()
+            self.advance()
+            dims += 1
+        return JType(_PRIMS[token.text], dims)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_unit(self) -> ast.CompilationUnit:
+        unit = ast.CompilationUnit()
+        while self.current.kind is not TokKind.EOF:
+            if self.current.is_kw("global"):
+                self.advance()
+                unit.globals.append(self._parse_global())
+                continue
+            if not self.at_type():
+                raise self.error(
+                    f"expected declaration, got {self.current.text!r}"
+                )
+            # type ident '(' => function; otherwise a global.
+            save = self.position
+            self.parse_type()
+            is_function = (self.current.kind is TokKind.IDENT
+                           and self.peek().is_op("("))
+            self.position = save
+            if is_function:
+                unit.functions.append(self._parse_function())
+            else:
+                unit.globals.append(self._parse_global())
+        return unit
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        line = self.current.line
+        type_ = self.parse_type()
+        name = self.expect_ident().text
+        init = None
+        if self.accept_op("="):
+            init = self.parse_expr()
+        self.expect_op(";")
+        return ast.GlobalDecl(type=type_, name=name, init=init, line=line)
+
+    def _parse_function(self) -> ast.FuncDecl:
+        line = self.current.line
+        ret = self.parse_type()
+        name = self.expect_ident().text
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        if not self.current.is_op(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect_ident().text
+                params.append(ast.Param(type=ptype, name=pname))
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        body = self._parse_block()
+        return ast.FuncDecl(ret=ret, name=name, params=params, body=body,
+                            line=line)
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> ast.BlockStmt:
+        line = self.current.line
+        self.expect_op("{")
+        body: list[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            if self.current.kind is TokKind.EOF:
+                raise self.error("unterminated block")
+            body.append(self.parse_stmt())
+        self.expect_op("}")
+        return ast.BlockStmt(body=body, line=line)
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.current
+        if token.is_op("{"):
+            return self._parse_block()
+        if token.is_kw("if"):
+            return self._parse_if()
+        if token.is_kw("while"):
+            return self._parse_while()
+        if token.is_kw("do"):
+            return self._parse_do_while()
+        if token.is_kw("for"):
+            return self._parse_for()
+        if token.is_kw("return"):
+            self.advance()
+            value = None if self.current.is_op(";") else self.parse_expr()
+            self.expect_op(";")
+            return ast.ReturnStmt(value=value, line=token.line)
+        if token.is_kw("break"):
+            self.advance()
+            self.expect_op(";")
+            return ast.BreakStmt(line=token.line)
+        if token.is_kw("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ast.ContinueStmt(line=token.line)
+        if self.at_type():
+            decl = self._parse_var_decl()
+            self.expect_op(";")
+            return decl
+        expr = self.parse_expr()
+        self.expect_op(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        line = self.current.line
+        type_ = self.parse_type()
+        name = self.expect_ident().text
+        init = None
+        if self.accept_op("="):
+            init = self.parse_expr()
+        return ast.VarDecl(type=type_, name=name, init=init, line=line)
+
+    def _parse_if(self) -> ast.IfStmt:
+        line = self.advance().line
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        then = self.parse_stmt()
+        otherwise = None
+        if self.current.is_kw("else"):
+            self.advance()
+            otherwise = self.parse_stmt()
+        return ast.IfStmt(cond=cond, then=then, otherwise=otherwise, line=line)
+
+    def _parse_while(self) -> ast.WhileStmt:
+        line = self.advance().line
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_stmt()
+        return ast.WhileStmt(cond=cond, body=body, line=line)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        line = self.advance().line
+        body = self.parse_stmt()
+        if not self.current.is_kw("while"):
+            raise self.error("expected 'while' after do body")
+        self.advance()
+        self.expect_op("(")
+        cond = self.parse_expr()
+        self.expect_op(")")
+        self.expect_op(";")
+        return ast.DoWhileStmt(body=body, cond=cond, line=line)
+
+    def _parse_for(self) -> ast.ForStmt:
+        line = self.advance().line
+        self.expect_op("(")
+        init: ast.Stmt | None = None
+        if not self.current.is_op(";"):
+            if self.at_type():
+                init = self._parse_var_decl()
+            else:
+                init = ast.ExprStmt(expr=self.parse_expr(),
+                                    line=self.current.line)
+        self.expect_op(";")
+        cond = None if self.current.is_op(";") else self.parse_expr()
+        self.expect_op(";")
+        update = None if self.current.is_op(")") else self.parse_expr()
+        self.expect_op(")")
+        body = self.parse_stmt()
+        return ast.ForStmt(init=init, cond=cond, update=update, body=body,
+                           line=line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        expr = self._parse_ternary()
+        token = self.current
+        if token.kind is TokKind.OP and token.text in _ASSIGN_OPS:
+            self.advance()
+            value = self._parse_assignment()
+            if not isinstance(expr, (ast.VarRef, ast.Index)):
+                raise ParseError("invalid assignment target",
+                                 token.line, token.column)
+            return ast.Assign(target=expr, op=token.text, value=value,
+                              line=token.line)
+        return expr
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_or()
+        if self.accept_op("?"):
+            then = self._parse_assignment()
+            self.expect_op(":")
+            otherwise = self._parse_assignment()
+            return ast.Ternary(cond=cond, then=then, otherwise=otherwise,
+                               line=cond.line)
+        return cond
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self.current.is_op("||"):
+            line = self.advance().line
+            rhs = self._parse_and()
+            expr = ast.Binary(op="||", lhs=expr, rhs=rhs, line=line)
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_binary(0)
+        while self.current.is_op("&&"):
+            line = self.advance().line
+            rhs = self._parse_binary(0)
+            expr = ast.Binary(op="&&", lhs=expr, rhs=rhs, line=line)
+        return expr
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while (self.current.kind is TokKind.OP and self.current.text in ops):
+            token = self.advance()
+            rhs = self._parse_binary(level + 1)
+            expr = ast.Binary(op=token.text, lhs=expr, rhs=rhs,
+                              line=token.line)
+        return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokKind.OP and token.text in ("-", "!", "~", "+"):
+            self.advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(op=token.text, operand=operand, line=token.line)
+        if token.is_op("++") or token.is_op("--"):
+            self.advance()
+            target = self._parse_unary()
+            return ast.IncDec(target=target, op=token.text, line=token.line)
+        # Cast: '(' type ')' unary
+        if token.is_op("(") and self.peek().kind is TokKind.KEYWORD \
+                and self.peek().text in _PRIMS:
+            # Distinguish from parenthesized expressions: a cast's type is
+            # followed by optional [] pairs and then ')'.
+            save = self.position
+            self.advance()
+            type_ = self.parse_type()
+            if self.current.is_op(")"):
+                self.advance()
+                operand = self._parse_unary()
+                return ast.Cast(type=type_, operand=operand, line=token.line)
+            self.position = save
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if token.is_op("["):
+                self.advance()
+                index = self.parse_expr()
+                self.expect_op("]")
+                expr = ast.Index(array=expr, index=index, line=token.line)
+            elif token.is_op(".") and self.peek().kind is TokKind.IDENT \
+                    and self.peek().text == "length":
+                self.advance()
+                self.advance()
+                expr = ast.Length(array=expr, line=token.line)
+            elif token.is_op("++") or token.is_op("--"):
+                self.advance()
+                expr = ast.IncDec(target=expr, op=token.text, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokKind.INT:
+            self.advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind is TokKind.LONG:
+            self.advance()
+            return ast.LongLit(value=token.value, line=token.line)
+        if token.kind is TokKind.DOUBLE:
+            self.advance()
+            return ast.DoubleLit(value=token.value, line=token.line)
+        if token.kind is TokKind.CHAR:
+            self.advance()
+            return ast.CharLit(value=token.value, line=token.line)
+        if token.is_kw("true") or token.is_kw("false"):
+            self.advance()
+            return ast.BoolLit(value=token.text == "true", line=token.line)
+        if token.is_kw("new"):
+            return self._parse_new()
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_op(")")
+            return expr
+        if token.kind is TokKind.IDENT:
+            if token.text == "Math" and self.peek().is_op("."):
+                self.advance()
+                self.advance()
+                fn = self.expect_ident().text
+                args = self._parse_args()
+                return ast.MathCall(fn=fn, args=args, line=token.line)
+            if self.peek().is_op("("):
+                self.advance()
+                args = self._parse_args()
+                return ast.Call(name=token.text, args=args, line=token.line)
+            self.advance()
+            return ast.VarRef(name=token.text, line=token.line)
+        raise self.error(f"unexpected token {token.text!r}")
+
+    def _parse_new(self) -> ast.Expr:
+        token = self.advance()  # 'new'
+        if not self.at_type():
+            raise self.error("expected type after 'new'")
+        prim_token = self.advance()
+        prim = _PRIMS[prim_token.text]
+        dims: list[ast.Expr] = []
+        extra = 0
+        while self.current.is_op("["):
+            self.advance()
+            if self.current.is_op("]"):
+                self.advance()
+                extra += 1
+            else:
+                if extra:
+                    raise self.error("dimension after empty brackets")
+                dims.append(self.parse_expr())
+                self.expect_op("]")
+        if not dims:
+            raise self.error("array allocation needs at least one size")
+        type_ = JType(prim, len(dims) + extra)
+        return ast.NewArray(type=type_, dims=dims, line=token.line)
+
+    def _parse_args(self) -> list[ast.Expr]:
+        self.expect_op("(")
+        args: list[ast.Expr] = []
+        if not self.current.is_op(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        return args
+
+
+def parse(source: str) -> ast.CompilationUnit:
+    return Parser(source).parse_unit()

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerate the paper's tables and figures."""
+
+from .claims import Verdict, check_claims, format_claims
+from .export import export_json, results_to_dict
+from .figures import format_percent_figure, format_performance_figure
+from .runner import (
+    CellResult,
+    SoundnessError,
+    WorkloadResults,
+    run_suite,
+    run_workload,
+)
+from .tables import ROW_ORDER, format_dynamic_count_table, format_timing_table
+
+__all__ = [
+    "CellResult",
+    "ROW_ORDER",
+    "SoundnessError",
+    "Verdict",
+    "WorkloadResults",
+    "check_claims",
+    "export_json",
+    "format_dynamic_count_table",
+    "format_percent_figure",
+    "format_performance_figure",
+    "format_claims",
+    "format_timing_table",
+    "results_to_dict",
+    "run_suite",
+    "run_workload",
+]

@@ -1,0 +1,127 @@
+"""The paper's checkable claims, encoded.
+
+Each claim is a predicate over a suite's :class:`WorkloadResults`; the
+checker returns a verdict list that EXPERIMENTS.md and the benchmark
+suite use to assert that the reproduction still reproduces.  Claims are
+*shape* claims (orderings, signs, monotonicity) rather than absolute
+numbers, because the substrate is a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .runner import WorkloadResults
+
+
+@dataclass(frozen=True)
+class Verdict:
+    claim: str
+    source: str  # where the paper states it
+    holds: bool
+    detail: str
+
+
+def _avg_percent(results: list[WorkloadResults], variant: str) -> float:
+    values = [r.cells[variant].percent_of(r.baseline) for r in results]
+    return sum(values) / len(values)
+
+
+def _claim(claims, name, source, predicate, detail):
+    holds = bool(predicate)
+    claims.append(Verdict(claim=name, source=source, holds=holds,
+                          detail=detail))
+
+
+def check_claims(results: list[WorkloadResults]) -> list[Verdict]:
+    """Evaluate every encoded claim against one suite's results."""
+    claims: list[Verdict] = []
+    avg = lambda v: _avg_percent(results, v)  # noqa: E731
+
+    _claim(
+        claims,
+        "the majority of sign extensions are eliminated",
+        "abstract / Section 6",
+        avg("new algorithm (all)") < 50.0,
+        f"average residual {avg('new algorithm (all)'):.2f}% of baseline",
+    )
+    _claim(
+        claims,
+        "the full algorithm eliminates 71.52%-99.999% per benchmark",
+        "Section 4.1",
+        all(
+            r.cells["new algorithm (all)"].percent_of(r.baseline) < 28.48
+            or r.baseline.dyn_extend32 == 0
+            for r in results
+        ),
+        "per-benchmark residuals all below 28.48%",
+    )
+    _claim(
+        claims,
+        "array-index elimination is most effective",
+        "Section 4.1: 'most effective for all the benchmark programs'",
+        avg("array") <= avg("basic ud/du") + 1e-9,
+        f"array {avg('array'):.2f}% vs basic ud/du "
+        f"{avg('basic ud/du'):.2f}%",
+    )
+    _claim(
+        claims,
+        "insertion + order determination improves on basic ud/du",
+        "Section 4.1, observation 2 (the combination is what pays; "
+        "in the paper insertion alone is ineffective)",
+        avg("insert, order") <= avg("basic ud/du") + 1e-9,
+        f"insert+order {avg('insert, order'):.2f}% vs basic ud/du "
+        f"{avg('basic ud/du'):.2f}% (insert alone "
+        f"{avg('insert'):.2f}%)",
+    )
+    _claim(
+        claims,
+        "combining array/insert with order enhances elimination",
+        "Section 4.1, observation 1",
+        avg("new algorithm (all)") <= avg("array") + 1e-9,
+        f"all {avg('new algorithm (all)'):.2f}% vs array "
+        f"{avg('array'):.2f}%",
+    )
+    _claim(
+        claims,
+        "simple insertion is at least as good as the PDE variant",
+        "Sections 2.1 / 5",
+        avg("new algorithm (all)") <= avg("all, using PDE") + 1e-9,
+        f"simple {avg('new algorithm (all)'):.2f}% vs PDE "
+        f"{avg('all, using PDE'):.2f}%",
+    )
+    _claim(
+        claims,
+        "the new algorithm beats the first algorithm everywhere",
+        "Section 4.1",
+        all(
+            r.cells["new algorithm (all)"].dyn_extend32
+            <= r.cells["first algorithm (bwd flow)"].dyn_extend32
+            for r in results
+        ),
+        "per-benchmark: all <= first algorithm",
+    )
+    _claim(
+        claims,
+        "elimination improves modelled run time on every benchmark",
+        "Section 4.1 / Figures 13-14",
+        all(
+            r.cells["new algorithm (all)"].cycles.improvement_over(
+                r.baseline.cycles
+            ) >= 0.0
+            for r in results
+        ),
+        "non-negative improvement everywhere",
+    )
+    return claims
+
+
+def format_claims(results: list[WorkloadResults], title: str) -> str:
+    lines = [title, "=" * len(title), ""]
+    for verdict in check_claims(results):
+        status = "REPRODUCED" if verdict.holds else "NOT REPRODUCED"
+        lines.append(f"[{status:>14s}] {verdict.claim}")
+        lines.append(f"{'':17s}paper: {verdict.source}")
+        lines.append(f"{'':17s}measured: {verdict.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Machine-readable export of experiment results."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..opt.pass_manager import BUCKET_CHAINS, BUCKET_OTHERS, BUCKET_SIGN_EXT
+from .runner import WorkloadResults
+
+
+def results_to_dict(results: list[WorkloadResults]) -> dict[str, Any]:
+    """All measurements as plain data, suitable for JSON/plotting."""
+    payload: dict[str, Any] = {"workloads": []}
+    for result in results:
+        baseline = result.baseline
+        entry: dict[str, Any] = {
+            "name": result.workload.name,
+            "display_name": result.workload.display_name,
+            "suite": result.workload.suite,
+            "description": result.workload.description,
+            "gold_checksum": f"{result.gold_checksum:#018x}",
+            "variants": {},
+        }
+        for name, cell in result.cells.items():
+            entry["variants"][name] = {
+                "dyn_extend32": cell.dyn_extend32,
+                "dyn_extend16": cell.dyn_extend16,
+                "dyn_extend8": cell.dyn_extend8,
+                "static_extends": cell.static_extends,
+                "percent_of_baseline": round(cell.percent_of(baseline), 4),
+                "cycles": cell.cycles.total,
+                "cycle_improvement_percent": round(
+                    cell.cycles.improvement_over(baseline.cycles), 4
+                ),
+                "steps": cell.steps,
+                "compile_seconds": {
+                    "sign_ext": cell.timing.seconds.get(BUCKET_SIGN_EXT, 0.0),
+                    "chains": cell.timing.seconds.get(BUCKET_CHAINS, 0.0),
+                    "others": cell.timing.seconds.get(BUCKET_OTHERS, 0.0),
+                },
+            }
+        payload["workloads"].append(entry)
+    return payload
+
+
+def export_json(results: list[WorkloadResults], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(results_to_dict(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,96 @@
+"""Text renderers for the paper's figures.
+
+Figures 11/12 plot the Table-1/2 percentages as series; Figures 13/14
+plot run-time improvement over the baseline.  We render both as aligned
+text series plus an ASCII bar chart (the repository has no plotting
+dependency, and the numbers are the deliverable).
+"""
+
+from __future__ import annotations
+
+from .runner import WorkloadResults
+from .tables import ROW_ORDER
+
+#: Variants plotted in the performance figures.
+PERF_ROWS = [
+    "gen use",
+    "first algorithm (bwd flow)",
+    "insert, order",
+    "array, order",
+    "all, using PDE",
+    "new algorithm (all)",
+]
+
+
+def format_percent_figure(results: list[WorkloadResults], title: str) -> str:
+    """Figures 11/12: residual dynamic extensions as % of baseline."""
+    lines = [title, "=" * len(title), ""]
+    names = [wl.workload.display_name for wl in results]
+    width = max(12, *(len(n) for n in names)) + 2
+    header = f"{'variant':28s}" + "".join(f"{n:>{width}s}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in ROW_ORDER:
+        if row == "baseline" or not all(row in wl.cells for wl in results):
+            continue
+        line = f"{row:28s}"
+        for wl in results:
+            pct = wl.cells[row].percent_of(wl.baseline)
+            line += f"{pct:>{width - 1}.2f}%"
+        lines.append(line)
+    lines.append("")
+    lines.append(_bars(results, "new algorithm (all)"))
+    return "\n".join(lines)
+
+
+def format_performance_figure(results: list[WorkloadResults],
+                              title: str) -> str:
+    """Figures 13/14: modelled run-time improvement over baseline (%)."""
+    lines = [title, "=" * len(title), ""]
+    names = [wl.workload.display_name for wl in results]
+    width = max(12, *(len(n) for n in names)) + 2
+    header = f"{'variant':28s}" + "".join(f"{n:>{width}s}" for n in names)
+    header += f"{'average':>10s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in PERF_ROWS:
+        if not all(row in wl.cells for wl in results):
+            continue
+        line = f"{row:28s}"
+        improvements = []
+        for wl in results:
+            improvement = wl.cells[row].cycles.improvement_over(
+                wl.baseline.cycles
+            )
+            improvements.append(improvement)
+            line += f"{improvement:>{width - 1}.2f}%"
+        line += f"{sum(improvements) / len(improvements):>9.2f}%"
+        lines.append(line)
+    lines.append("")
+    lines.append(_improvement_bars(results, "new algorithm (all)"))
+    return "\n".join(lines)
+
+
+def _bars(results: list[WorkloadResults], variant: str,
+          width: int = 50) -> str:
+    lines = [f"residual extensions, {variant} (% of baseline):"]
+    for wl in results:
+        pct = wl.cells[variant].percent_of(wl.baseline)
+        bar = "#" * max(0, min(width, round(pct / 100 * width)))
+        lines.append(f"  {wl.workload.display_name:14s} {pct:7.2f}% |{bar}")
+    return "\n".join(lines)
+
+
+def _improvement_bars(results: list[WorkloadResults], variant: str,
+                      width: int = 50, scale: float = 30.0) -> str:
+    lines = [f"run-time improvement, {variant} (% over baseline, "
+             f"bar full scale = {scale:.0f}%):"]
+    for wl in results:
+        improvement = wl.cells[variant].cycles.improvement_over(
+            wl.baseline.cycles
+        )
+        bar = "#" * max(0, min(width, round(improvement / scale * width)))
+        lines.append(
+            f"  {wl.workload.display_name:14s} {improvement:7.2f}% |{bar}"
+        )
+    return "\n".join(lines)

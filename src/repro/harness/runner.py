@@ -1,0 +1,108 @@
+"""Experiment runner: compile + execute each workload under each variant.
+
+For every (workload, variant) cell the runner:
+
+1. compiles the workload's 32-bit-form program under the variant config
+   (profiles for order determination come from one profiling run of the
+   unconverted program, as the paper's mixed-mode interpreter provides);
+2. executes the compiled program on the machine-faithful interpreter;
+3. checks the observable behaviour (checksums, return value) against the
+   unoptimized gold run — any unsound elimination fails loudly;
+4. records the dynamic count of remaining 32-bit sign extensions
+   (Tables 1/2), modelled cycles (Figures 13/14), and compile timing
+   (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.frequency import BranchProfile
+from ..core import VARIANTS, compile_program
+from ..core.config import SignExtConfig
+from ..interp import Interpreter
+from ..interp.profiler import collect_branch_profiles
+from ..machine.costs import CycleReport, count_cycles
+from ..machine.model import IA64, MachineTraits
+from ..opt.pass_manager import Timing
+from ..workloads import Workload
+
+
+class SoundnessError(AssertionError):
+    """An optimization variant changed observable behaviour."""
+
+
+@dataclass
+class CellResult:
+    workload: str
+    variant: str
+    dyn_extend32: int
+    dyn_extend16: int
+    dyn_extend8: int
+    static_extends: int
+    cycles: CycleReport
+    timing: Timing
+    steps: int
+
+    def percent_of(self, baseline: "CellResult") -> float:
+        if baseline.dyn_extend32 == 0:
+            return 100.0 if self.dyn_extend32 == 0 else float("inf")
+        return 100.0 * self.dyn_extend32 / baseline.dyn_extend32
+
+
+@dataclass
+class WorkloadResults:
+    workload: Workload
+    gold_checksum: int
+    cells: dict[str, CellResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> CellResult:
+        return self.cells["baseline"]
+
+
+def run_workload(
+    workload: Workload,
+    variants: dict[str, SignExtConfig] | None = None,
+    *,
+    traits: MachineTraits = IA64,
+    fuel: int = 100_000_000,
+) -> WorkloadResults:
+    """Run one workload under every variant; verify soundness throughout."""
+    variants = variants if variants is not None else VARIANTS
+    source = workload.program()
+
+    gold = Interpreter(source, mode="ideal", fuel=fuel).run()
+    profiles = collect_branch_profiles(source, fuel=fuel)
+
+    results = WorkloadResults(workload=workload, gold_checksum=gold.checksum)
+    for name, config in variants.items():
+        config = config.with_traits(traits)
+        compiled = compile_program(source, config, profiles)
+        run = Interpreter(compiled.program, traits=traits, fuel=fuel).run()
+        if run.observable() != gold.observable():
+            raise SoundnessError(
+                f"{workload.name} / {name}: observable behaviour changed "
+                f"(gold {gold.observable()} vs {run.observable()})"
+            )
+        results.cells[name] = CellResult(
+            workload=workload.name,
+            variant=name,
+            dyn_extend32=run.extend_counts.get(32, 0),
+            dyn_extend16=run.extend_counts.get(16, 0),
+            dyn_extend8=run.extend_counts.get(8, 0),
+            static_extends=compiled.static_extend_count,
+            cycles=count_cycles(compiled.program, run, traits),
+            timing=compiled.timing,
+            steps=run.steps,
+        )
+    return results
+
+
+def run_suite(
+    workloads: list[Workload],
+    variants: dict[str, SignExtConfig] | None = None,
+    *,
+    traits: MachineTraits = IA64,
+) -> list[WorkloadResults]:
+    return [run_workload(w, variants, traits=traits) for w in workloads]

@@ -1,0 +1,105 @@
+"""Text renderers for the paper's tables.
+
+Tables 1 and 2 print, per benchmark and per variant, the dynamic count
+of remaining 32-bit sign extensions and its percentage of the baseline,
+with the paper's improved (o) / worsened (x) marks relative to the row
+above's reference ordering (improved = lower than the previous
+non-reference row).
+"""
+
+from __future__ import annotations
+
+from ..core.config import VARIANTS
+from .runner import WorkloadResults
+
+#: Variant order as printed in the paper's tables.
+ROW_ORDER = list(VARIANTS)
+
+
+def _marks(results: list[WorkloadResults]) -> dict[tuple[str, str], str]:
+    """o = improved vs the previous row, x = worsened (the paper's
+    white/black circles)."""
+    marks: dict[tuple[str, str], str] = {}
+    for wl in results:
+        previous: int | None = None
+        for row in ROW_ORDER:
+            cell = wl.cells.get(row)
+            if cell is None:
+                continue
+            if row == "baseline":
+                marks[(wl.workload.name, row)] = " "
+            elif previous is not None:
+                if cell.dyn_extend32 <= previous:
+                    marks[(wl.workload.name, row)] = "o"
+                else:
+                    marks[(wl.workload.name, row)] = "x"
+            previous = cell.dyn_extend32
+    return marks
+
+
+def format_dynamic_count_table(
+    results: list[WorkloadResults],
+    title: str,
+) -> str:
+    """Render a Table-1/2-style dynamic-count table."""
+    marks = _marks(results)
+    names = [wl.workload.display_name for wl in results]
+    width = max(12, *(len(n) for n in names)) + 2
+
+    lines = [title, "=" * len(title), ""]
+    header = f"{'variant':28s}" + "".join(f"{n:>{width}s}" for n in names)
+    header += f"{'average %':>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    for row in ROW_ORDER:
+        if not all(row in wl.cells for wl in results):
+            continue
+        counts = f"{row:28s}"
+        percents = f"{'':28s}"
+        percent_values = []
+        for wl in results:
+            cell = wl.cells[row]
+            base = wl.baseline
+            pct = cell.percent_of(base)
+            percent_values.append(pct)
+            mark = marks.get((wl.workload.name, row), " ")
+            counts += f"{cell.dyn_extend32:>{width}d}"
+            percents += f"{mark} ({pct:.2f}%)".rjust(width)
+        average = sum(percent_values) / len(percent_values)
+        counts += f"{'':>12s}"
+        percents += f"({average:.2f}%)".rjust(12)
+        lines.append(counts)
+        lines.append(percents)
+    return "\n".join(lines)
+
+
+def format_timing_table(results: list[WorkloadResults],
+                        variant: str = "new algorithm (all)") -> str:
+    """Render the Table-3-style JIT compilation time breakdown."""
+    from ..opt.pass_manager import BUCKET_CHAINS, BUCKET_OTHERS, BUCKET_SIGN_EXT
+
+    title = ("Table 3: Breakdown of JIT compilation time "
+             f"(variant: {variant})")
+    lines = [title, "=" * len(title), ""]
+    header = (f"{'benchmark':14s}{'sign-ext opts':>16s}"
+              f"{'UD/DU chains':>16s}{'others':>12s}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    fractions = []
+    for wl in results:
+        timing = wl.cells[variant].timing
+        se = timing.fraction(BUCKET_SIGN_EXT) * 100
+        ch = timing.fraction(BUCKET_CHAINS) * 100
+        ot = timing.fraction(BUCKET_OTHERS) * 100
+        fractions.append((se, ch, ot))
+        lines.append(
+            f"{wl.workload.display_name:14s}{se:>15.2f}%{ch:>15.2f}%"
+            f"{ot:>11.2f}%"
+        )
+    if fractions:
+        avg = [sum(f[i] for f in fractions) / len(fractions) for i in range(3)]
+        lines.append(
+            f"{'average':14s}{avg[0]:>15.2f}%{avg[1]:>15.2f}%{avg[2]:>11.2f}%"
+        )
+    return "\n".join(lines)

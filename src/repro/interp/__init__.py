@@ -1,0 +1,24 @@
+"""Execution substrate: heap, machine-faithful interpreter, profiling."""
+
+from .interpreter import ExecResult, Interpreter
+from .memory import (
+    ArrayObject,
+    FuelExhausted,
+    Heap,
+    MemoryFault,
+    SimError,
+    Trap,
+)
+from .profiler import collect_branch_profiles
+
+__all__ = [
+    "ArrayObject",
+    "ExecResult",
+    "FuelExhausted",
+    "Heap",
+    "Interpreter",
+    "MemoryFault",
+    "SimError",
+    "Trap",
+    "collect_branch_profiles",
+]

@@ -1,0 +1,57 @@
+"""The repro intermediate representation.
+
+A non-SSA, register-based IR in the style of the JIT compiler IL the
+paper targets: typed virtual registers, explicit basic blocks, explicit
+``extend`` instructions, Java-semantics array accesses.
+"""
+
+from .block import Block
+from .builder import FunctionBuilder, build_function
+from .function import Function, Program
+from .instruction import FuncSig, Global, Instr, VReg
+from .opcodes import Cond, EXTEND_BITS, EXTEND_OPS, OP_INFO, Opcode, Role
+from .printer import format_function, format_program
+from .types import (
+    INT32_MAX,
+    INT32_MIN,
+    JAVA_MAX_ARRAY_LENGTH,
+    ScalarType,
+    is_canonical32,
+    low32,
+    sign_extend,
+    wrap_u64,
+    zero_extend,
+)
+from .verifier import VerificationError, verify_function, verify_program
+
+__all__ = [
+    "Block",
+    "Cond",
+    "EXTEND_BITS",
+    "EXTEND_OPS",
+    "FuncSig",
+    "Function",
+    "FunctionBuilder",
+    "Global",
+    "INT32_MAX",
+    "INT32_MIN",
+    "Instr",
+    "JAVA_MAX_ARRAY_LENGTH",
+    "OP_INFO",
+    "Opcode",
+    "Program",
+    "Role",
+    "ScalarType",
+    "VReg",
+    "VerificationError",
+    "build_function",
+    "format_function",
+    "format_program",
+    "is_canonical32",
+    "low32",
+    "sign_extend",
+    "verify_function",
+    "verify_program",
+    "wrap_u64",
+    "zero_extend",
+]

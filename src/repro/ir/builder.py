@@ -1,0 +1,202 @@
+"""A fluent builder for constructing IR functions.
+
+Used by the frontend lowering, by tests, and by the paper-example
+reproductions.  The builder tracks a current insertion block; helpers
+materialize constants and allocate destination registers automatically.
+"""
+
+from __future__ import annotations
+
+from .block import Block
+from .function import Function, Program
+from .instruction import FuncSig, Instr, VReg
+from .opcodes import Cond, Opcode, OP_INFO
+from .types import ScalarType
+
+_BIN_RESULT = {
+    Opcode.ADD32: ScalarType.I32,
+    Opcode.SUB32: ScalarType.I32,
+    Opcode.MUL32: ScalarType.I32,
+    Opcode.DIV32: ScalarType.I32,
+    Opcode.REM32: ScalarType.I32,
+    Opcode.AND32: ScalarType.I32,
+    Opcode.OR32: ScalarType.I32,
+    Opcode.XOR32: ScalarType.I32,
+    Opcode.SHL32: ScalarType.I32,
+    Opcode.SHR32: ScalarType.I32,
+    Opcode.USHR32: ScalarType.I32,
+    Opcode.ADD64: ScalarType.I64,
+    Opcode.SUB64: ScalarType.I64,
+    Opcode.MUL64: ScalarType.I64,
+    Opcode.DIV64: ScalarType.I64,
+    Opcode.REM64: ScalarType.I64,
+    Opcode.AND64: ScalarType.I64,
+    Opcode.OR64: ScalarType.I64,
+    Opcode.XOR64: ScalarType.I64,
+    Opcode.SHL64: ScalarType.I64,
+    Opcode.SHR64: ScalarType.I64,
+    Opcode.USHR64: ScalarType.I64,
+    Opcode.FADD: ScalarType.F64,
+    Opcode.FSUB: ScalarType.F64,
+    Opcode.FMUL: ScalarType.F64,
+    Opcode.FDIV: ScalarType.F64,
+    Opcode.FREM: ScalarType.F64,
+    Opcode.FPOW: ScalarType.F64,
+}
+
+_UN_RESULT = {
+    Opcode.NEG32: ScalarType.I32,
+    Opcode.NOT32: ScalarType.I32,
+    Opcode.NEG64: ScalarType.I64,
+    Opcode.NOT64: ScalarType.I64,
+    Opcode.FNEG: ScalarType.F64,
+    Opcode.FSQRT: ScalarType.F64,
+    Opcode.FSIN: ScalarType.F64,
+    Opcode.FCOS: ScalarType.F64,
+    Opcode.FEXP: ScalarType.F64,
+    Opcode.FLOG: ScalarType.F64,
+    Opcode.FABS: ScalarType.F64,
+    Opcode.FFLOOR: ScalarType.F64,
+    Opcode.I2D: ScalarType.F64,
+    Opcode.L2D: ScalarType.F64,
+    Opcode.D2I: ScalarType.I32,
+    Opcode.D2L: ScalarType.I64,
+    Opcode.EXTEND8: ScalarType.I32,
+    Opcode.EXTEND16: ScalarType.I32,
+    Opcode.EXTEND32: ScalarType.I32,
+    Opcode.ZEXT8: ScalarType.I32,
+    Opcode.ZEXT16: ScalarType.I32,
+    Opcode.ZEXT32: ScalarType.I64,
+    Opcode.JUST_EXTENDED: ScalarType.I32,
+    Opcode.TRUNC32: ScalarType.I32,
+}
+
+
+class FunctionBuilder:
+    """Builds one function, one block at a time."""
+
+    def __init__(self, program: Program, name: str, sig: FuncSig) -> None:
+        self.program = program
+        self.func = Function(name, sig)
+        program.add_function(self.func)
+        self.current: Block = self.func.new_block("entry")
+
+    # -- block management -------------------------------------------------
+
+    def block(self, hint: str = "bb") -> Block:
+        """Create a new block without switching to it."""
+        return self.func.new_block(hint)
+
+    def switch(self, block: Block) -> Block:
+        self.current = block
+        return block
+
+    def param(self, name: str, type_: ScalarType) -> VReg:
+        return self.func.add_param(name, type_)
+
+    # -- low-level emission -------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        self.current.append(instr)
+        if instr.is_terminator:
+            self.func.invalidate_cfg()
+        return instr
+
+    # -- values -------------------------------------------------------------
+
+    def const(self, value: int | float, type_: ScalarType = ScalarType.I32,
+              dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(type_, "c")
+        self.emit(Instr(Opcode.CONST, dest, imm=value, elem=type_))
+        return dest
+
+    def mov(self, src: VReg, dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(src.type)
+        self.emit(Instr(Opcode.MOV, dest, (src,)))
+        return dest
+
+    def unop(self, opcode: Opcode, src: VReg, dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(_UN_RESULT[opcode])
+        self.emit(Instr(opcode, dest, (src,)))
+        return dest
+
+    def binop(self, opcode: Opcode, lhs: VReg, rhs: VReg,
+              dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(_BIN_RESULT[opcode])
+        self.emit(Instr(opcode, dest, (lhs, rhs)))
+        return dest
+
+    def cmp(self, opcode: Opcode, cond: Cond, lhs: VReg, rhs: VReg,
+            dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(ScalarType.I32, "p")
+        self.emit(Instr(opcode, dest, (lhs, rhs), cond=cond))
+        return dest
+
+    def extend32(self, src: VReg, dest: VReg | None = None) -> VReg:
+        return self.unop(Opcode.EXTEND32, src, dest or src)
+
+    # -- memory ----------------------------------------------------------------
+
+    def newarray(self, elem: ScalarType, length: VReg,
+                 dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(ScalarType.REF, "a")
+        self.emit(Instr(Opcode.NEWARRAY, dest, (length,), elem=elem))
+        return dest
+
+    def aload(self, arr: VReg, index: VReg, elem: ScalarType,
+              dest: VReg | None = None) -> VReg:
+        result_type = ScalarType.I64 if elem is ScalarType.I64 else (
+            ScalarType.F64 if elem is ScalarType.F64 else (
+                ScalarType.REF if elem is ScalarType.REF else ScalarType.I32))
+        dest = dest or self.func.new_reg(result_type)
+        self.emit(Instr(Opcode.ALOAD, dest, (arr, index), elem=elem))
+        return dest
+
+    def astore(self, arr: VReg, index: VReg, value: VReg, elem: ScalarType) -> None:
+        self.emit(Instr(Opcode.ASTORE, None, (arr, index, value), elem=elem))
+
+    def arraylen(self, arr: VReg, dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(ScalarType.I32, "len")
+        self.emit(Instr(Opcode.ARRAYLEN, dest, (arr,)))
+        return dest
+
+    def gload(self, name: str, type_: ScalarType, dest: VReg | None = None) -> VReg:
+        dest = dest or self.func.new_reg(type_, "g")
+        self.emit(Instr(Opcode.GLOAD, dest, (), gname=name, elem=type_))
+        return dest
+
+    def gstore(self, name: str, value: VReg, type_: ScalarType) -> None:
+        self.emit(Instr(Opcode.GSTORE, None, (value,), gname=name, elem=type_))
+
+    # -- control --------------------------------------------------------------
+
+    def br(self, cond_reg: VReg, then_block: Block, else_block: Block) -> None:
+        self.emit(Instr(Opcode.BR, None, (cond_reg,),
+                        targets=(then_block.label, else_block.label)))
+
+    def jmp(self, target: Block) -> None:
+        self.emit(Instr(Opcode.JMP, None, (), targets=(target.label,)))
+
+    def ret(self, value: VReg | None = None) -> None:
+        srcs = (value,) if value is not None else ()
+        self.emit(Instr(Opcode.RET, None, srcs))
+
+    def call(self, callee: str, args: list[VReg],
+             ret_type: ScalarType | None = None) -> VReg | None:
+        dest = self.func.new_reg(ret_type, "r") if ret_type is not None else None
+        self.emit(Instr(Opcode.CALL, dest, tuple(args), callee=callee))
+        return dest
+
+    def sink(self, value: VReg) -> None:
+        self.emit(Instr(Opcode.SINK, None, (value,)))
+
+
+def build_function(program: Program, name: str,
+                   params: list[tuple[str, ScalarType]],
+                   ret: ScalarType | None) -> FunctionBuilder:
+    """Convenience: create a builder with parameters already declared."""
+    sig = FuncSig(tuple(t for _, t in params), ret)
+    builder = FunctionBuilder(program, name, sig)
+    for pname, ptype in params:
+        builder.param(pname, ptype)
+    return builder

@@ -1,0 +1,37 @@
+"""Deep-cloning of IR programs.
+
+The harness compiles the same source program under a dozen variant
+configurations; cloning gives each compilation an isolated copy.  Cloned
+instructions receive fresh uids (side tables never alias across runs).
+"""
+
+from __future__ import annotations
+
+from .block import Block
+from .function import Function, Program
+from .instruction import Global
+
+
+def clone_function(func: Function) -> Function:
+    clone = Function(func.name, func.sig)
+    clone.params = list(func.params)
+    clone._reg_names = set(func._reg_names)
+    clone._temp_counter = func._temp_counter
+    clone._label_counter = func._label_counter
+    for block in func.blocks:
+        new_block = Block(block.label)
+        new_block.freq = block.freq
+        new_block.loop_depth = block.loop_depth
+        for instr in block.instrs:
+            new_block.append(instr.copy())
+        clone.add_block(new_block)
+    return clone
+
+
+def clone_program(program: Program) -> Program:
+    clone = Program(program.name)
+    for glob in program.globals.values():
+        clone.add_global(glob.name, glob.type, glob.initial)
+    for func in program.functions.values():
+        clone.add_function(clone_function(func))
+    return clone

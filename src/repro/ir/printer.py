@@ -1,0 +1,33 @@
+"""Textual rendering of IR functions and programs."""
+
+from __future__ import annotations
+
+from .function import Function, Program
+
+
+def format_function(func: Function, *, freq: bool = False) -> str:
+    """Render a function as text.
+
+    With ``freq=True`` annotate blocks with their estimated execution
+    frequency and loop depth (useful when debugging order determination).
+    """
+    lines = [f"func @{func.name}{func.sig} "
+             f"params({', '.join(str(p) for p in func.params)}) {{"]
+    for block in func.blocks:
+        header = f"{block.label}:"
+        if freq:
+            header += f"    ; freq={block.freq:g} depth={block.loop_depth}"
+        lines.append(header)
+        for instr in block.instrs:
+            lines.append(f"  {instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    parts = [f"program {program.name}"]
+    for glob in program.globals.values():
+        parts.append(f"global ${glob.name}: {glob.type.value} = {glob.initial}")
+    for func in program.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)

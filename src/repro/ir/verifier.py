@@ -1,0 +1,115 @@
+"""IR well-formedness checks.
+
+The verifier catches structural mistakes early: blocks without
+terminators, branches to unknown labels, operand-count mismatches,
+type mismatches on extensions, uses of undefined registers (checked
+flow-insensitively: a register must have at least one definition or be
+a parameter), and calls with arity mismatches.
+"""
+
+from __future__ import annotations
+
+from .function import Function, Program
+from .instruction import Instr
+from .opcodes import OP_INFO, Opcode
+from .types import ScalarType
+
+
+class VerificationError(Exception):
+    """Raised when an IR function violates a structural invariant."""
+
+
+def verify_function(func: Function, program: Program | None = None) -> None:
+    labels = {block.label for block in func.blocks}
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: no blocks")
+
+    defined = {p.name for p in func.params}
+    for _, instr in func.instructions():
+        if instr.dest is not None:
+            defined.add(instr.dest.name)
+
+    for block in func.blocks:
+        if not block.instrs:
+            raise VerificationError(f"{func.name}/{block.label}: empty block")
+        for position, instr in enumerate(block.instrs):
+            _verify_instr(func, block.label, instr, labels, defined, program)
+            last = position == len(block.instrs) - 1
+            if instr.is_terminator != last:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: terminator misplaced at "
+                    f"position {position}: {instr}"
+                )
+
+
+def verify_program(program: Program) -> None:
+    for func in program.functions.values():
+        verify_function(func, program)
+
+
+def _verify_instr(
+    func: Function,
+    label: str,
+    instr: Instr,
+    labels: set[str],
+    defined: set[str],
+    program: Program | None,
+) -> None:
+    where = f"{func.name}/{label}: {instr}"
+    info = OP_INFO.get(instr.opcode)
+    if info is None:
+        raise VerificationError(f"{where}: unknown opcode")
+
+    if info.n_srcs >= 0 and len(instr.srcs) != info.n_srcs:
+        raise VerificationError(
+            f"{where}: expected {info.n_srcs} operands, got {len(instr.srcs)}"
+        )
+    if info.has_dest and instr.dest is None and instr.opcode is not Opcode.CALL:
+        raise VerificationError(f"{where}: missing destination")
+    if not info.has_dest and instr.dest is not None:
+        raise VerificationError(f"{where}: unexpected destination")
+
+    for src in instr.srcs:
+        if src.name not in defined:
+            raise VerificationError(f"{where}: use of undefined register {src}")
+
+    if instr.opcode is Opcode.CONST and instr.imm is None:
+        raise VerificationError(f"{where}: CONST without immediate")
+    if instr.opcode in (Opcode.CMP32, Opcode.CMP64, Opcode.CMPF, Opcode.BR):
+        if instr.opcode is not Opcode.BR and instr.cond is None:
+            raise VerificationError(f"{where}: compare without condition")
+    if instr.opcode in (Opcode.ALOAD, Opcode.ASTORE, Opcode.NEWARRAY):
+        if instr.elem is None:
+            raise VerificationError(f"{where}: array op without element type")
+    if instr.opcode in (Opcode.ALOAD, Opcode.ASTORE, Opcode.ARRAYLEN):
+        if instr.srcs and instr.srcs[0].type is not ScalarType.REF:
+            raise VerificationError(f"{where}: array operand must be REF")
+    if instr.opcode in (Opcode.GLOAD, Opcode.GSTORE):
+        if instr.gname is None:
+            raise VerificationError(f"{where}: global op without name")
+        if program is not None and instr.gname not in program.globals:
+            raise VerificationError(f"{where}: unknown global ${instr.gname}")
+
+    if instr.opcode is Opcode.BR and len(instr.targets) != 2:
+        raise VerificationError(f"{where}: BR needs two targets")
+    if instr.opcode is Opcode.JMP and len(instr.targets) != 1:
+        raise VerificationError(f"{where}: JMP needs one target")
+    for target in instr.targets:
+        if target not in labels:
+            raise VerificationError(f"{where}: unknown target {target}")
+
+    if instr.opcode is Opcode.CALL:
+        if instr.callee is None:
+            raise VerificationError(f"{where}: CALL without callee")
+        if program is not None:
+            callee = program.functions.get(instr.callee)
+            if callee is None:
+                raise VerificationError(f"{where}: unknown callee @{instr.callee}")
+            if len(instr.srcs) != len(callee.sig.params):
+                raise VerificationError(
+                    f"{where}: arity mismatch calling @{instr.callee}: "
+                    f"{len(instr.srcs)} args vs {len(callee.sig.params)} params"
+                )
+
+    if instr.opcode is Opcode.RET and len(instr.srcs) > 1:
+        raise VerificationError(f"{where}: RET takes at most one value")

@@ -1,0 +1,5 @@
+"""Machine models: IA64- and PPC64-like traits, lowering, cycle costs."""
+
+from .model import IA64, MACHINES, PPC64, LoadExt, MachineTraits
+
+__all__ = ["IA64", "MACHINES", "PPC64", "LoadExt", "MachineTraits"]

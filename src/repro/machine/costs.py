@@ -1,0 +1,83 @@
+"""Cycle cost model for the performance figures (Figures 13 and 14).
+
+The paper measures wall-clock speedups on an 800 MHz Itanium; we cannot,
+so run time is modelled as ``sum(dynamic count x per-instruction
+cycles)`` using a coarse Itanium-flavoured cost table.  Absolute numbers
+are not meaningful — the *shape* (which variants win, roughly by how
+much) is what the figures reproduce.  Explicit sign extensions cost one
+cycle each (``sxt4``), which is exactly the quantity the elimination
+variants remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interp.interpreter import ExecResult
+from ..ir.function import Program
+from ..ir.opcodes import Opcode
+from .model import MachineTraits
+
+#: Approximate cycles per dynamically executed IR instruction.
+DEFAULT_COSTS: dict[Opcode, float] = {
+    Opcode.CONST: 1, Opcode.MOV: 1,
+    Opcode.EXTEND8: 1, Opcode.EXTEND16: 1, Opcode.EXTEND32: 1,
+    Opcode.ZEXT8: 1, Opcode.ZEXT16: 1, Opcode.ZEXT32: 1,
+    Opcode.JUST_EXTENDED: 0, Opcode.TRUNC32: 1,
+    Opcode.ADD32: 1, Opcode.SUB32: 1, Opcode.NEG32: 1,
+    Opcode.AND32: 1, Opcode.OR32: 1, Opcode.XOR32: 1, Opcode.NOT32: 1,
+    Opcode.SHL32: 1, Opcode.SHR32: 1, Opcode.USHR32: 1,
+    Opcode.MUL32: 3, Opcode.DIV32: 16, Opcode.REM32: 20,
+    Opcode.ADD64: 1, Opcode.SUB64: 1, Opcode.NEG64: 1,
+    Opcode.AND64: 1, Opcode.OR64: 1, Opcode.XOR64: 1, Opcode.NOT64: 1,
+    Opcode.SHL64: 1, Opcode.SHR64: 1, Opcode.USHR64: 1,
+    Opcode.MUL64: 3, Opcode.DIV64: 24, Opcode.REM64: 28,
+    Opcode.CMP32: 1, Opcode.CMP64: 1, Opcode.CMPF: 2,
+    Opcode.FADD: 3, Opcode.FSUB: 3, Opcode.FMUL: 3, Opcode.FDIV: 15,
+    Opcode.FREM: 25, Opcode.FNEG: 1, Opcode.FABS: 1, Opcode.FFLOOR: 4,
+    Opcode.FSQRT: 20, Opcode.FSIN: 40, Opcode.FCOS: 40, Opcode.FEXP: 40,
+    Opcode.FLOG: 40, Opcode.FPOW: 60,
+    Opcode.I2D: 4, Opcode.L2D: 4, Opcode.D2I: 4, Opcode.D2L: 4,
+    Opcode.NEWARRAY: 100,
+    Opcode.ALOAD: 4, Opcode.ASTORE: 3, Opcode.ARRAYLEN: 2,
+    Opcode.GLOAD: 2, Opcode.GSTORE: 2,
+    Opcode.BR: 1, Opcode.JMP: 1, Opcode.RET: 2, Opcode.CALL: 10,
+    Opcode.SINK: 2, Opcode.NOP: 0,
+}
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Modelled cycles for one execution."""
+
+    total: float
+    extend_cycles: float
+
+    def improvement_over(self, baseline: "CycleReport") -> float:
+        """Per-cent run-time improvement relative to ``baseline``
+        (the paper's Figures 13/14 y-axis)."""
+        if self.total == 0:
+            return 0.0
+        return (baseline.total / self.total - 1.0) * 100.0
+
+
+def count_cycles(program: Program, result: ExecResult,
+                 traits: MachineTraits | None = None,
+                 costs: dict[Opcode, float] | None = None) -> CycleReport:
+    """Total modelled cycles for an execution of ``program``."""
+    table = costs or DEFAULT_COSTS
+    extend_cost = traits.extend_cost if traits is not None else 1.0
+    total = 0.0
+    extend_cycles = 0.0
+    for func in program.functions.values():
+        for _, instr in func.instructions():
+            count = result.site_counts.get(instr.uid, 0)
+            if not count:
+                continue
+            if instr.is_extend:
+                cycles = count * extend_cost
+                extend_cycles += cycles
+            else:
+                cycles = count * table[instr.opcode]
+            total += cycles
+    return CycleReport(total=total, extend_cycles=extend_cycles)

@@ -1,0 +1,74 @@
+"""Machine trait descriptions.
+
+The paper evaluates on IA64 (no implicit sign extension: memory reads
+zero-extend, so ``sxt`` instructions are needed everywhere) and contrasts
+it with PowerPC64 (``lwa`` loads sign-extend 32-bit values implicitly,
+``lha`` sign-extends 16-bit values; bytes are zero-extended by ``lbz``).
+These traits parameterize 64-bit conversion, the semantic classification
+in :mod:`repro.ir.semantics`, the interpreter, and the cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..ir.types import ScalarType
+
+
+class LoadExt(enum.Enum):
+    """How a memory load of a narrow value fills the upper register bits."""
+
+    ZERO = "zero"
+    SIGN = "sign"
+
+
+@dataclass(frozen=True)
+class MachineTraits:
+    """Architecture facts relevant to sign-extension elimination."""
+
+    name: str
+    #: Extension applied by the natural load instruction per element width.
+    load_ext: dict[ScalarType, LoadExt] = field(default_factory=dict)
+    #: 32-bit compare instructions exist (ignore upper 32 bits).  Both the
+    #: paper's targets have them; without them, bounds checks and 32-bit
+    #: compares would themselves demand canonical inputs.
+    has_cmp32: bool = True
+    #: Calling convention: narrow integer arguments must be canonical
+    #: (sign-extended) when passed, and callees return canonical values.
+    abi_canonical_args: bool = True
+    abi_canonical_ret: bool = True
+    #: Cycle cost of one explicit sign-extension instruction.
+    extend_cost: float = 1.0
+    #: Whether an address can be formed with shift-and-add in one
+    #: instruction once the index needs no explicit extension
+    #: (IA64 ``shladd``; PPC64 ``rldic``+add modelled as the same win).
+    fused_address_add: bool = True
+
+    def load_extension(self, elem: ScalarType) -> LoadExt:
+        return self.load_ext.get(elem, LoadExt.ZERO)
+
+
+IA64 = MachineTraits(
+    name="ia64",
+    load_ext={
+        ScalarType.I8: LoadExt.ZERO,
+        ScalarType.I16: LoadExt.ZERO,
+        ScalarType.U16: LoadExt.ZERO,
+        ScalarType.I32: LoadExt.ZERO,
+        ScalarType.I64: LoadExt.ZERO,
+    },
+)
+
+PPC64 = MachineTraits(
+    name="ppc64",
+    load_ext={
+        ScalarType.I8: LoadExt.ZERO,  # lbz: no sign-extending byte load
+        ScalarType.I16: LoadExt.SIGN,  # lha
+        ScalarType.U16: LoadExt.ZERO,  # lhz
+        ScalarType.I32: LoadExt.SIGN,  # lwa
+        ScalarType.I64: LoadExt.ZERO,
+    },
+)
+
+MACHINES = {"ia64": IA64, "ppc64": PPC64}

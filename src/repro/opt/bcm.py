@@ -1,0 +1,217 @@
+"""Busy code motion: classic PRE with earliest down-safe placement.
+
+The paper's step 2 "employ[s] a variant of the partial redundancy
+elimination algorithm [12, 13, 14] for common sub-expression
+elimination".  The default pipeline uses the GCSE + LICM combination
+(equivalent power on these workloads, simpler to reason about); this
+module provides the textbook alternative — Knoop/Rüthing/Steffen-style
+code motion with *earliest* (busy) placement — for study and for the
+``benchmarks/test_ablation_pre.py`` comparison.
+
+Formulation (bit vectors over lexical expressions):
+
+* ``ANTIN/ANTOUT`` — down-safety (backward, intersect): the expression
+  is computed on every path before its operands change.
+* ``AVIN/AVOUT`` — availability (forward, intersect).
+* ``EARLIEST(i, j) = ANTIN(j) & ~AVOUT(i) & (~TRANSP(i) | ~ANTOUT(i))``
+  — the first down-safe edges where the value is not already available.
+
+Insertion splits each earliest edge and computes the expression into a
+fresh temporary there; full-redundancy cleanup (GCSE + copy propagation
++ DCE) then rewrites the now-available original computations.  Because
+every insertion point is down-safe, no computation is speculated and no
+path executes more evaluations than before.
+"""
+
+from __future__ import annotations
+
+from ..ir.block import Block
+from ..ir.builder import _BIN_RESULT, _UN_RESULT
+from ..ir.function import Function
+from ..ir.instruction import Instr, VReg
+from ..ir.opcodes import Opcode
+from ..ir.types import ScalarType
+from .expr import ExprKey, expr_key, is_idempotent_self_extend
+from .dce import eliminate_dead_code
+from .copy_prop import propagate_copies
+from .gcse import eliminate_common_subexpressions
+
+
+def busy_code_motion(func: Function) -> bool:
+    """Run one round of BCM-style PRE; returns True when code changed."""
+    func.build_cfg()
+    universe: dict[ExprKey, int] = {}
+    exemplar: dict[ExprKey, Instr] = {}
+    for _, instr in func.instructions():
+        key = expr_key(instr)
+        if key is not None and key not in universe:
+            universe[key] = len(universe)
+            exemplar[key] = instr
+    if not universe:
+        return False
+    n_exprs = len(universe)
+    full = (1 << n_exprs) - 1
+    exprs_using: dict[str, int] = {}
+    for key, bit in universe.items():
+        for name in key.srcs:
+            exprs_using[name] = exprs_using.get(name, 0) | (1 << bit)
+
+    transp: dict[str, int] = {}
+    antloc: dict[str, int] = {}
+    comp: dict[str, int] = {}
+    for block in func.blocks:
+        killed = 0  # expressions whose operands were defined so far
+        local_antloc = 0
+        available = 0
+        for instr in block.instrs:
+            key = expr_key(instr)
+            if key is not None:
+                bit = 1 << universe[key]
+                if not killed & bit:
+                    local_antloc |= bit
+                available |= bit
+            if instr.dest is not None:
+                mask = exprs_using.get(instr.dest.name, 0)
+                if is_idempotent_self_extend(instr) and key in universe:
+                    mask &= ~(1 << universe[key])
+                killed |= mask
+                available &= ~mask
+                if key is not None and _still_available(instr, key):
+                    available |= 1 << universe[key]
+        transp[block.label] = full & ~killed
+        antloc[block.label] = local_antloc
+        comp[block.label] = available
+
+    antin, antout = _solve_backward_intersect(func, transp, antloc, full)
+    avin, avout = _solve_forward_intersect(func, transp, comp, full)
+    del antin, avin
+
+    insertions: list[tuple[Block, Block, int]] = []
+    for block in func.blocks:
+        for succ in block.succs:
+            earliest = (
+                _antin_of(succ, transp, antloc, antout)
+                & ~avout[block.label]
+                & (~transp[block.label] | ~antout[block.label])
+                & full
+            )
+            if earliest:
+                insertions.append((block, succ, earliest))
+
+    # Virtual entry edge: expressions down-safe at function entry are
+    # earliest right there (nothing is available on entry).
+    entry_bits = (_antin_of(func.entry, transp, antloc, antout)
+                  & ~antloc[func.entry.label] & full)
+
+    key_by_bit = {bit: key for key, bit in universe.items()}
+
+    if entry_bits:
+        position = 0
+        index = 0
+        remaining = entry_bits
+        while remaining:
+            if remaining & 1:
+                key = key_by_bit[index]
+                temp = func.new_reg(_result_type(key), "pre")
+                computed = exemplar[key].copy()
+                computed.dest = temp
+                func.entry.instrs.insert(position, computed)
+                position += 1
+            remaining >>= 1
+            index += 1
+    for pred, succ, bits in insertions:
+        split = func.new_block("pre")
+        index = 0
+        remaining = bits
+        while remaining:
+            if remaining & 1:
+                key = key_by_bit[index]
+                temp = func.new_reg(_result_type(key), "pre")
+                computed = exemplar[key].copy()
+                computed.dest = temp
+                split.append(computed)
+            remaining >>= 1
+            index += 1
+        split.append(Instr(Opcode.JMP, None, (), targets=(succ.label,)))
+        terminator = pred.terminator
+        # Retarget only one occurrence: BR may name the same successor
+        # twice, and each edge was considered separately.
+        new_targets = list(terminator.targets)
+        new_targets[new_targets.index(succ.label)] = split.label
+        terminator.targets = tuple(new_targets)
+    func.invalidate_cfg()
+
+    # Full-redundancy cleanup makes the inserted values flow into the
+    # original computations (and handles plain CSE when nothing was
+    # inserted at all).
+    changed = bool(insertions) or bool(entry_bits)
+    changed |= eliminate_common_subexpressions(func)
+    changed |= propagate_copies(func)
+    changed |= eliminate_dead_code(func)
+    func.drop_unreachable_blocks()
+    return changed
+
+
+def _still_available(instr: Instr, key: ExprKey) -> bool:
+    if instr.dest is None or instr.dest.name not in key.srcs:
+        return True
+    return is_idempotent_self_extend(instr)
+
+
+def _antin_of(block: Block, transp, antloc, antout) -> int:
+    return antloc[block.label] | (transp[block.label] & antout[block.label])
+
+
+def _solve_backward_intersect(func, transp, antloc, full):
+    antout = {b.label: full for b in func.blocks}
+    antin = {b.label: full for b in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(func.blocks):
+            if block.succs:
+                out = full
+                for succ in block.succs:
+                    out &= antin[succ.label]
+            else:
+                out = 0
+            new_in = antloc[block.label] | (transp[block.label] & out)
+            if out != antout[block.label] or new_in != antin[block.label]:
+                antout[block.label] = out
+                antin[block.label] = new_in
+                changed = True
+    return antin, antout
+
+
+def _solve_forward_intersect(func, transp, comp, full):
+    avin = {b.label: full for b in func.blocks}
+    avout = {b.label: full for b in func.blocks}
+    avin[func.entry.label] = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks:
+            if block is func.entry:
+                inp = 0
+            elif block.preds:
+                inp = full
+                for pred in block.preds:
+                    inp &= avout[pred.label]
+            else:
+                inp = 0
+            new_out = comp[block.label] | (transp[block.label] & inp)
+            if inp != avin[block.label] or new_out != avout[block.label]:
+                avin[block.label] = inp
+                avout[block.label] = new_out
+                changed = True
+    return avin, avout
+
+
+def _result_type(key: ExprKey) -> ScalarType:
+    if key.opcode in _BIN_RESULT:
+        return _BIN_RESULT[key.opcode]
+    if key.opcode in _UN_RESULT:
+        return _UN_RESULT[key.opcode]
+    if key.opcode in (Opcode.CMP32, Opcode.CMP64, Opcode.CMPF):
+        return ScalarType.I32
+    return ScalarType.I64

@@ -1,0 +1,57 @@
+"""Copy propagation.
+
+A use of ``r`` whose every reaching definition is the same ``r = mov s``
+can read ``s`` directly, provided ``s`` still holds the value it had at
+the copy.  We establish that cheaply and safely by requiring ``s`` to
+have exactly one definition in the function (the common case for the
+expression temporaries the frontend emits); its value is then fixed for
+the whole execution after definition.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ud_du import Chains
+from ..ir.function import Function
+from ..ir.opcodes import Opcode
+
+_MAX_ROUNDS = 10
+
+
+def propagate_copies(func: Function) -> bool:
+    changed_any = False
+    for _ in range(_MAX_ROUNDS):
+        chains = Chains(func)
+        def_counts: dict[str, int] = {}
+        for param in func.params:
+            def_counts[param.name] = def_counts.get(param.name, 0) + 1
+        for _, instr in func.instructions():
+            if instr.dest is not None:
+                def_counts[instr.dest.name] = def_counts.get(instr.dest.name, 0) + 1
+
+        changed = False
+        for _, instr in func.instructions():
+            for index, src in enumerate(instr.srcs):
+                defs = chains.defs_for(instr, index)
+                if len(defs) != 1 or defs[0].instr is None:
+                    continue
+                definition = defs[0].instr
+                if definition is instr:
+                    continue
+                if definition.opcode is not Opcode.MOV:
+                    continue
+                copied = definition.srcs[0]
+                if copied.name == src.name:
+                    continue
+                if copied.type is not src.type:
+                    continue
+                if def_counts.get(copied.name, 0) != 1:
+                    continue
+                srcs = list(instr.srcs)
+                srcs[index] = copied
+                instr.srcs = tuple(srcs)
+                changed = True
+        if changed:
+            changed_any = True
+        else:
+            break
+    return changed_any

@@ -1,0 +1,142 @@
+"""Function inlining.
+
+The paper's JIT performs method inlining among its intermediate-level
+optimizations [Ishizaki et al.; Suganuma et al.], and the sign-extension
+results depend on it: a helper's parameter has an unknown range at its
+array uses, but after inlining the argument's range and canonicality are
+visible to AnalyzeARRAY.
+
+Small, non-recursive callees are cloned into the caller: the call block
+is split, arguments are copied into renamed parameter registers, and
+returns become jumps to the continuation (storing into the call's
+destination register).  Inlining runs on *converted* code, where every
+value is canonical, so splicing bodies across the former ABI boundary
+preserves the machine-level invariants.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..ir.block import Block
+from ..ir.function import Function, Program
+from ..ir.instruction import Instr, VReg
+from ..ir.opcodes import Opcode
+
+#: Callees with more instructions than this are not inlined.
+MAX_CALLEE_INSTRS = 60
+#: Callers are not grown beyond this many instructions.
+MAX_CALLER_INSTRS = 900
+#: Rounds of inlining (allows helper-of-helper chains).
+MAX_ROUNDS = 2
+
+
+def inline_small_functions(program: Program) -> bool:
+    """Inline all eligible call sites.  Deterministic: the same program
+    produces the same renamed registers and labels, which lets branch
+    profiles collected on an inlined copy apply to another."""
+    sites = itertools.count(1)
+    changed_any = False
+    for _ in range(MAX_ROUNDS):
+        changed = False
+        for func in program.functions.values():
+            changed |= _inline_into(program, func, sites)
+        if not changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+def _is_inlinable(callee: Function, caller: Function) -> bool:
+    if callee.name == caller.name:
+        return False  # direct recursion
+    size = sum(len(block.instrs) for block in callee.blocks)
+    if size > MAX_CALLEE_INSTRS:
+        return False
+    for _, instr in callee.instructions():
+        if instr.opcode is Opcode.CALL and instr.callee == callee.name:
+            return False  # self-recursive
+    return True
+
+
+def _inline_into(program: Program, caller: Function, sites) -> bool:
+    changed = False
+    while True:
+        site = _find_site(program, caller)
+        if site is None:
+            return changed
+        block, position, instr = site
+        _inline_at(program, caller, block, position, instr, next(sites))
+        changed = True
+
+
+def _find_site(program: Program, caller: Function):
+    caller_size = sum(len(block.instrs) for block in caller.blocks)
+    if caller_size > MAX_CALLER_INSTRS:
+        return None
+    for block in caller.blocks:
+        for position, instr in enumerate(block.instrs):
+            if instr.opcode is not Opcode.CALL:
+                continue
+            callee = program.functions.get(instr.callee)
+            if callee is None or not _is_inlinable(callee, caller):
+                continue
+            return block, position, instr
+    return None
+
+
+def _inline_at(program: Program, caller: Function, block: Block,
+               position: int, call: Instr, site: int) -> None:
+    callee = program.functions[call.callee]
+    prefix = f"inl{site}_"
+
+    # Rename callee registers into the caller's namespace.
+    reg_map: dict[str, VReg] = {}
+
+    def mapped(reg: VReg) -> VReg:
+        found = reg_map.get(reg.name)
+        if found is None:
+            found = caller.named_reg(f"{prefix}{reg.name}", reg.type)
+            reg_map[reg.name] = found
+        return found
+
+    label_map = {b.label: f"{prefix}{b.label}" for b in callee.blocks}
+
+    # Split the call block: [.. argument copies, jmp entry] + [cont ..].
+    cont = Block(f"{prefix}cont")
+    cont.instrs = block.instrs[position + 1:]
+    block.instrs = block.instrs[:position]
+    for param, arg in zip(callee.params, call.srcs):
+        block.instrs.append(Instr(Opcode.MOV, mapped(param), (arg,),
+                                  comment="inline arg"))
+    block.instrs.append(
+        Instr(Opcode.JMP, None, (),
+              targets=(label_map[callee.entry.label],))
+    )
+
+    new_blocks: list[Block] = []
+    for src_block in callee.blocks:
+        clone = Block(label_map[src_block.label])
+        for instr in src_block.instrs:
+            if instr.opcode is Opcode.RET:
+                if instr.srcs and call.dest is not None:
+                    clone.append(Instr(Opcode.MOV, call.dest,
+                                       (mapped(instr.srcs[0]),),
+                                       comment="inline ret"))
+                clone.append(Instr(Opcode.JMP, None, (),
+                                   targets=(cont.label,)))
+                continue
+            copy = instr.copy()
+            if copy.dest is not None:
+                copy.dest = mapped(copy.dest)
+            copy.srcs = tuple(mapped(s) for s in copy.srcs)
+            copy.targets = tuple(label_map[t] for t in copy.targets)
+            clone.append(copy)
+        new_blocks.append(clone)
+
+    # Insert the cloned body and continuation right after the call block.
+    at = caller.blocks.index(block) + 1
+    for offset, new_block in enumerate(new_blocks + [cont]):
+        caller.blocks.insert(at + offset, new_block)
+        caller._blocks_by_label[new_block.label] = new_block
+    caller.invalidate_cfg()

@@ -1,0 +1,127 @@
+"""Loop-invariant code motion.
+
+Moves pure computations whose operands are loop-invariant into a loop
+preheader.  Covers the paper's observation that the PRE phase "moves an
+expression backward in the control flow graph, and thus loop-invariant
+sign extensions can be moved out of the loop": a same-register
+``r = extendN(r)`` whose register has no other definition in the loop is
+hoisted, which is sound because the extension only canonicalizes the
+upper bits (the low 32 bits are unchanged, and executing it early on the
+zero-trip path merely refines the register).
+"""
+
+from __future__ import annotations
+
+from ..analysis.liveness import Liveness
+from ..analysis.loops import Loop, LoopForest
+from ..ir.block import Block
+from ..ir.function import Function
+from ..ir.instruction import Instr
+from ..ir.opcodes import Opcode
+from .expr import PURE_OPS, is_idempotent_self_extend
+
+_MAX_ROUNDS = 12
+
+
+def hoist_loop_invariants(func: Function) -> bool:
+    changed_any = False
+    for _ in range(_MAX_ROUNDS):
+        if not _one_round(func):
+            break
+        changed_any = True
+    return changed_any
+
+
+def _one_round(func: Function) -> bool:
+    func.build_cfg()
+    forest = LoopForest(func)
+    if not forest.loops:
+        return False
+    liveness = Liveness(func)
+    changed = False
+    # Innermost first: len(body) ascending.
+    for loop in sorted(forest.loops, key=lambda l: len(l.body)):
+        changed |= _hoist_from_loop(func, loop, liveness)
+        if changed:
+            # Structures are stale after a hoist; restart the round.
+            return True
+    return changed
+
+
+def _hoist_from_loop(func: Function, loop: Loop, liveness: Liveness) -> bool:
+    defs_in_loop: dict[str, int] = {}
+    for label in loop.body:
+        for instr in func.block(label).instrs:
+            if instr.dest is not None:
+                name = instr.dest.name
+                defs_in_loop[name] = defs_in_loop.get(name, 0) + 1
+
+    candidates: list[tuple[Block, Instr]] = []
+    for label in loop.body:
+        block = func.block(label)
+        for instr in block.instrs:
+            if _is_hoistable(instr, loop, defs_in_loop, liveness):
+                candidates.append((block, instr))
+    if not candidates:
+        return False
+
+    preheader = _ensure_preheader(func, loop)
+    if preheader is None:
+        return False
+    anchor = preheader.terminator
+    for block, instr in candidates:
+        block.remove(instr)
+        preheader.insert_before(anchor, instr)
+    func.invalidate_cfg()
+    return True
+
+
+def _is_hoistable(instr: Instr, loop: Loop, defs_in_loop: dict[str, int],
+                  liveness: Liveness) -> bool:
+    if instr.opcode not in PURE_OPS or instr.dest is None:
+        return False
+    self_extend = is_idempotent_self_extend(instr)
+    for src in instr.srcs:
+        inside = defs_in_loop.get(src.name, 0)
+        if self_extend and src.name == instr.dest.name:
+            inside -= 1  # the instruction's own definition
+        if inside > 0:
+            return False
+    if defs_in_loop.get(instr.dest.name, 0) != 1:
+        return False
+    if self_extend:
+        return True
+    # The destination must be dead on loop entry, else hoisting would
+    # clobber a value the loop (or a zero-trip exit) still reads.
+    return not _live_into_header(loop, liveness, instr.dest.name)
+
+
+def _live_into_header(loop: Loop, liveness: Liveness, reg_name: str) -> bool:
+    bit = liveness.index_of.get(reg_name)
+    if bit is None:
+        return False
+    return bool(liveness.live_in(loop.header.label) & (1 << bit))
+
+
+def _ensure_preheader(func: Function, loop: Loop) -> Block | None:
+    """The unique out-of-loop predecessor of the header, creating a
+    dedicated preheader block when necessary."""
+    header = loop.header
+    outside = [p for p in header.preds if p.label not in loop.body]
+    if not outside:
+        return None
+    if (len(outside) == 1 and len(outside[0].succs) == 1
+            and outside[0].terminator.opcode is Opcode.JMP):
+        return outside[0]
+
+    preheader = func.new_block("preheader")
+    preheader.append(Instr(Opcode.JMP, None, (), targets=(header.label,)))
+    for pred in outside:
+        terminator = pred.terminator
+        terminator.targets = tuple(
+            preheader.label if t == header.label else t
+            for t in terminator.targets
+        )
+    func.invalidate_cfg()
+    func.build_cfg()
+    return preheader

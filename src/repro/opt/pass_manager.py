@@ -1,0 +1,72 @@
+"""Pass pipeline with per-bucket timing (for the paper's Table 3).
+
+The paper buckets JIT compilation time into "sign extension
+optimizations", "UD/DU chain creation", and "others"; passes here
+declare their bucket so the harness can reproduce that breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..ir.function import Function
+
+PassFn = Callable[[Function], bool]
+
+BUCKET_SIGN_EXT = "sign extension optimizations"
+BUCKET_CHAINS = "UD/DU chain creation"
+BUCKET_OTHERS = "others"
+
+
+@dataclass
+class Pass:
+    name: str
+    run: PassFn
+    bucket: str = BUCKET_OTHERS
+
+
+@dataclass
+class Timing:
+    """Accumulated wall-clock seconds per bucket."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, bucket: str, elapsed: float) -> None:
+        self.seconds[bucket] = self.seconds.get(bucket, 0.0) + elapsed
+
+    def merge(self, other: "Timing") -> None:
+        for bucket, elapsed in other.seconds.items():
+            self.add(bucket, elapsed)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction(self, bucket: str) -> float:
+        total = self.total
+        if total == 0.0:
+            return 0.0
+        return self.seconds.get(bucket, 0.0) / total
+
+
+class PassManager:
+    """Runs a fixed pipeline over one function, recording timing."""
+
+    def __init__(self, passes: list[Pass], timing: Timing | None = None) -> None:
+        self.passes = passes
+        self.timing = timing if timing is not None else Timing()
+
+    def run(self, func: Function) -> bool:
+        changed = False
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            changed |= bool(pass_.run(func))
+            self.timing.add(pass_.bucket, time.perf_counter() - start)
+        return changed
+
+    def run_to_fixpoint(self, func: Function, max_rounds: int = 4) -> None:
+        for _ in range(max_rounds):
+            if not self.run(func):
+                break

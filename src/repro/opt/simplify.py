@@ -1,0 +1,114 @@
+"""Algebraic simplification and branch folding.
+
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x & -1``, ``x | 0``, ``x ^ 0``,
+  ``x << 0`` → ``mov x``; ``x * 0``, ``x & 0`` → ``const 0``.
+* ``br`` on a constant condition → ``jmp``; unreachable blocks dropped.
+"""
+
+from __future__ import annotations
+
+from ..analysis.ud_du import Chains
+from ..ir.function import Function
+from ..ir.instruction import Instr
+from ..ir.opcodes import Opcode
+from ..ir.types import ScalarType, low32, sign_extend
+
+_NEUTRAL_RIGHT = {
+    Opcode.ADD32: 0, Opcode.SUB32: 0, Opcode.MUL32: 1,
+    Opcode.OR32: 0, Opcode.XOR32: 0, Opcode.AND32: -1,
+    Opcode.SHL32: 0, Opcode.SHR32: 0, Opcode.USHR32: 0,
+    Opcode.ADD64: 0, Opcode.SUB64: 0, Opcode.MUL64: 1,
+    Opcode.OR64: 0, Opcode.XOR64: 0, Opcode.AND64: -1,
+    Opcode.SHL64: 0, Opcode.SHR64: 0, Opcode.USHR64: 0,
+}
+_NEUTRAL_LEFT = {
+    Opcode.ADD32: 0, Opcode.MUL32: 1, Opcode.OR32: 0, Opcode.XOR32: 0,
+    Opcode.AND32: -1,
+    Opcode.ADD64: 0, Opcode.MUL64: 1, Opcode.OR64: 0, Opcode.XOR64: 0,
+    Opcode.AND64: -1,
+}
+_ZERO_RIGHT = {Opcode.MUL32: 0, Opcode.AND32: 0, Opcode.MUL64: 0,
+               Opcode.AND64: 0}
+
+
+def simplify(func: Function) -> bool:
+    """Apply algebraic identities and fold constant branches."""
+    changed = _algebraic(func)
+    changed |= _fold_branches(func)
+    if changed:
+        func.invalidate_cfg()
+        func.drop_unreachable_blocks()
+    return changed
+
+
+def _const_of(chains: Chains, instr: Instr, index: int) -> int | None:
+    defs = chains.defs_for(instr, index)
+    value: int | None = None
+    for definition in defs:
+        src = definition.instr
+        if src is None or src.opcode is not Opcode.CONST:
+            return None
+        if not isinstance(src.imm, int):
+            return None
+        if value is None:
+            value = src.imm
+        elif value != src.imm:
+            return None
+    return value
+
+
+def _norm(value: int, opcode: Opcode) -> int:
+    bits = 64 if "64" in opcode.value else 32
+    return sign_extend(value, bits)
+
+
+def _algebraic(func: Function) -> bool:
+    chains = Chains(func)
+    changed = False
+    for block in func.blocks:
+        for position, instr in enumerate(block.instrs):
+            opcode = instr.opcode
+            if opcode not in _NEUTRAL_RIGHT or len(instr.srcs) != 2:
+                continue
+            rhs = _const_of(chains, instr, 1)
+            lhs = _const_of(chains, instr, 0)
+
+            replacement: Instr | None = None
+            if rhs is not None and opcode in _ZERO_RIGHT \
+                    and _norm(rhs, opcode) == _ZERO_RIGHT[opcode]:
+                zero_type = (ScalarType.I64 if "64" in opcode.value
+                             else ScalarType.I32)
+                replacement = Instr(Opcode.CONST, instr.dest, imm=0,
+                                    elem=zero_type, comment="simplified")
+            elif rhs is not None and _norm(rhs, opcode) == _NEUTRAL_RIGHT[opcode]:
+                replacement = Instr(Opcode.MOV, instr.dest, (instr.srcs[0],),
+                                    comment="simplified")
+            elif (lhs is not None and opcode in _NEUTRAL_LEFT
+                  and _norm(lhs, opcode) == _NEUTRAL_LEFT[opcode]):
+                replacement = Instr(Opcode.MOV, instr.dest, (instr.srcs[1],),
+                                    comment="simplified")
+
+            if replacement is not None:
+                block.instrs[position] = replacement
+                changed = True
+    return changed
+
+
+def _fold_branches(func: Function) -> bool:
+    chains = Chains(func)
+    changed = False
+    for block in func.blocks:
+        terminator = block.instrs[-1] if block.instrs else None
+        if terminator is None or terminator.opcode is not Opcode.BR:
+            continue
+        value = _const_of(chains, terminator, 0)
+        if value is None:
+            continue
+        taken = low32(value) != 0
+        target = terminator.targets[0] if taken else terminator.targets[1]
+        block.instrs[-1] = Instr(Opcode.JMP, None, (), targets=(target,),
+                                 comment="folded branch")
+        changed = True
+    if changed:
+        func.invalidate_cfg()
+    return changed

@@ -1,0 +1,5 @@
+"""Fuzzing utilities: random program generation for soundness testing."""
+
+from .genprog import ProgramGenerator, generate_program
+
+__all__ = ["ProgramGenerator", "generate_program"]

@@ -1,0 +1,23 @@
+"""Benchmark workloads: jBYTEmark and SPECjvm98 stand-ins in J32."""
+
+from .registry import (
+    DISPLAY_NAMES,
+    JBYTEMARK,
+    SPECJVM98,
+    Workload,
+    all_workloads,
+    get_workload,
+    jbytemark_workloads,
+    specjvm98_workloads,
+)
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "JBYTEMARK",
+    "SPECJVM98",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "jbytemark_workloads",
+    "specjvm98_workloads",
+]

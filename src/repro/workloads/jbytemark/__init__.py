@@ -1,0 +1,1 @@
+"""jBYTEmark suite stand-ins."""

@@ -1,0 +1,101 @@
+"""jBYTEmark Assignment: task-assignment over a 2-D cost matrix.
+
+Row/column reduction plus a greedy augmentation sweep over ``int[][]``
+— two-level array indexing where the inner index register is reused
+across subscripts, the pattern order determination is built for.
+"""
+
+DESCRIPTION = "cost-matrix reduction and greedy assignment on int[][]"
+
+SOURCE = """
+int gseed = 4242;
+
+int nextRand() {
+    gseed = gseed * 1103515245 + 12345;
+    return (gseed >>> 10) & 0x3fff;
+}
+
+void reduceRows(int[][] cost, int n) {
+    for (int i = 0; i < n; i++) {
+        int min = cost[i][0];
+        for (int j = 1; j < n; j++) {
+            if (cost[i][j] < min) {
+                min = cost[i][j];
+            }
+        }
+        for (int j = 0; j < n; j++) {
+            cost[i][j] -= min;
+        }
+    }
+}
+
+void reduceCols(int[][] cost, int n) {
+    for (int j = 0; j < n; j++) {
+        int min = cost[0][j];
+        for (int i = 1; i < n; i++) {
+            if (cost[i][j] < min) {
+                min = cost[i][j];
+            }
+        }
+        for (int i = 0; i < n; i++) {
+            cost[i][j] -= min;
+        }
+    }
+}
+
+int greedyAssign(int[][] cost, int n, int[] rowOf, int[] colOf) {
+    for (int i = 0; i < n; i++) {
+        rowOf[i] = -1;
+        colOf[i] = -1;
+    }
+    int assigned = 0;
+    // Repeatedly pick the cheapest unassigned (row, col) pair.
+    while (assigned < n) {
+        int bestRow = -1;
+        int bestCol = -1;
+        int best = 0x7fffffff;
+        for (int i = 0; i < n; i++) {
+            if (colOf[i] >= 0) { continue; }
+            for (int j = 0; j < n; j++) {
+                if (rowOf[j] >= 0) { continue; }
+                if (cost[i][j] < best) {
+                    best = cost[i][j];
+                    bestRow = i;
+                    bestCol = j;
+                }
+            }
+        }
+        colOf[bestRow] = bestCol;
+        rowOf[bestCol] = bestRow;
+        assigned++;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        total += cost[i][colOf[i]];
+    }
+    return total;
+}
+
+void main() {
+    int n = 18;
+    int[][] cost = new int[n][n];
+    int[] rowOf = new int[n];
+    int[] colOf = new int[n];
+    for (int iter = 0; iter < 3; iter++) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                cost[i][j] = nextRand();
+            }
+        }
+        reduceRows(cost, n);
+        reduceCols(cost, n);
+        int total = greedyAssign(cost, n, rowOf, colOf);
+        sink(total);
+        int h = 0;
+        for (int i = 0; i < n; i++) {
+            h = h * 31 + colOf[i];
+        }
+        sink(h);
+    }
+}
+"""

@@ -1,0 +1,65 @@
+"""jBYTEmark Bitfield: bit manipulation over an int bitmap.
+
+Shift/mask-dominated: ``>>> 5`` word indices and ``& 31`` bit offsets
+produce values the range analysis proves non-negative, so most index
+extensions fall to Theorem 1 (upper-32-zero sources).
+"""
+
+DESCRIPTION = "set/clear/toggle bit ranges in an int[] bitmap, then count"
+
+SOURCE = """
+void setBit(int[] map, int bit) {
+    map[bit >>> 5] = map[bit >>> 5] | (1 << (bit & 31));
+}
+
+void clearBit(int[] map, int bit) {
+    map[bit >>> 5] = map[bit >>> 5] & ~(1 << (bit & 31));
+}
+
+void toggleRange(int[] map, int from, int len) {
+    for (int b = from; b < from + len; b++) {
+        map[b >>> 5] = map[b >>> 5] ^ (1 << (b & 31));
+    }
+}
+
+int popCount(int v) {
+    int c = 0;
+    for (int i = 0; i < 32; i++) {
+        c += (v >>> i) & 1;
+    }
+    return c;
+}
+
+void main() {
+    int words = 96;
+    int bits = words * 32;
+    int[] map = new int[words];
+    int seed = 99991;
+    for (int iter = 0; iter < 2; iter++) {
+        for (int i = 0; i < words; i++) {
+            map[i] = 0;
+        }
+        for (int op = 0; op < 120; op++) {
+            seed = seed * 1103515245 + 12345;
+            int bit = (seed >>> 7) % bits;
+            int kind = op % 3;
+            if (kind == 0) {
+                setBit(map, bit);
+            } else if (kind == 1) {
+                clearBit(map, bit);
+            } else {
+                int len = 1 + ((seed >>> 3) & 63);
+                if (bit + len > bits) {
+                    len = bits - bit;
+                }
+                toggleRange(map, bit, len);
+            }
+        }
+        int total = 0;
+        for (int i = 0; i < words; i++) {
+            total += popCount(map[i]);
+        }
+        sink(total);
+    }
+}
+"""

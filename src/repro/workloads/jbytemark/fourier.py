@@ -1,0 +1,61 @@
+"""jBYTEmark Fourier: numeric integration of Fourier coefficients.
+
+Double-precision transcendental code; almost all integer work is loop
+control, so few extensions exist at all (the paper shows Fourier with
+the smallest absolute counts).
+"""
+
+DESCRIPTION = "Fourier coefficients of (x+1)^x by trapezoid integration"
+
+SOURCE = """
+double thefunction(double x, double omega_n, int select) {
+    // select: 0 -> f(x), 1 -> f(x)*cos(w*x), 2 -> f(x)*sin(w*x)
+    double base = Math.pow(x + 1.0, x);
+    if (select == 1) {
+        return base * Math.cos(omega_n * x);
+    }
+    if (select == 2) {
+        return base * Math.sin(omega_n * x);
+    }
+    return base;
+}
+
+double trapezoidIntegrate(double x0, double x1, int nsteps,
+                          double omega_n, int select) {
+    double x = x0;
+    double dx = (x1 - x0) / (double) nsteps;
+    double rvalue = thefunction(x0, omega_n, select) / 2.0;
+    int n = nsteps;
+    if (n != 1) {
+        x = x + dx;
+        while (n > 1) {
+            rvalue = rvalue + thefunction(x, omega_n, select);
+            x = x + dx;
+            n--;
+        }
+    }
+    rvalue = (rvalue + thefunction(x1, omega_n, select) / 2.0) * dx;
+    return rvalue;
+}
+
+void main() {
+    int ncoeffs = 10;
+    double[] abase = new double[ncoeffs];
+    double[] bbase = new double[ncoeffs];
+    for (int iter = 0; iter < 2; iter++) {
+        double omega = 3.1415926535897932 / 1.0;
+        abase[0] = trapezoidIntegrate(0.0, 2.0, 40, omega, 0) / 2.0;
+        bbase[0] = 0.0;
+        for (int i = 1; i < ncoeffs; i++) {
+            double omega_n = omega * (double) i;
+            abase[i] = trapezoidIntegrate(0.0, 2.0, 40, omega_n, 1);
+            bbase[i] = trapezoidIntegrate(0.0, 2.0, 40, omega_n, 2);
+        }
+        double h = 0.0;
+        for (int i = 0; i < ncoeffs; i++) {
+            h = h * 1.0001 + abase[i] - bbase[i];
+        }
+        sinkd(h);
+    }
+}
+"""

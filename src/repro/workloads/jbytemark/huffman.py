@@ -1,0 +1,138 @@
+"""jBYTEmark Huffman: build a Huffman tree, encode and decode.
+
+Tree stored as parallel int arrays; encoding emits bits into a byte
+buffer.  Byte loads, bit shifting, and table-driven indexing make this
+the benchmark where the paper's Figure 13 shows the largest speedup.
+"""
+
+DESCRIPTION = "Huffman tree build + encode/decode of a byte buffer"
+
+SOURCE = """
+int buildTree(int[] freq, int[] left, int[] right, int[] parent, int nsym) {
+    // Returns the root node index.  Nodes 0..nsym-1 are leaves.
+    int nodes = nsym;
+    int[] weight = new int[nsym * 2];
+    boolean[] used = new boolean[nsym * 2];
+    for (int i = 0; i < nsym; i++) {
+        weight[i] = freq[i];
+        used[i] = freq[i] == 0;
+    }
+    for (int i = 0; i < nsym * 2; i++) {
+        left[i] = -1;
+        right[i] = -1;
+        parent[i] = -1;
+    }
+    while (true) {
+        int a = -1;
+        int b = -1;
+        for (int i = 0; i < nodes; i++) {
+            if (used[i]) { continue; }
+            if (a < 0 || weight[i] < weight[a]) {
+                b = a;
+                a = i;
+            } else if (b < 0 || weight[i] < weight[b]) {
+                b = i;
+            }
+        }
+        if (b < 0) {
+            return a;
+        }
+        int m = nodes;
+        nodes++;
+        weight[m] = weight[a] + weight[b];
+        left[m] = a;
+        right[m] = b;
+        parent[a] = m;
+        parent[b] = m;
+        used[a] = true;
+        used[b] = true;
+        used[m] = false;
+    }
+    return -1;
+}
+
+int encode(byte[] data, int[] parent, int[] left, byte[] bits, int nsym) {
+    int bitpos = 0;
+    int[] path = new int[64];
+    for (int i = 0; i < data.length; i++) {
+        int sym = data[i] & 0xff;
+        if (sym >= nsym) { sym = nsym - 1; }
+        // Walk to the root recording branch directions.
+        int depth = 0;
+        int node = sym;
+        while (parent[node] >= 0) {
+            int p = parent[node];
+            path[depth] = (left[p] == node) ? 0 : 1;
+            depth++;
+            node = p;
+        }
+        // Emit most-significant (root-side) bit first.
+        for (int d = depth - 1; d >= 0; d--) {
+            int byteIndex = bitpos >>> 3;
+            if (path[d] != 0) {
+                bits[byteIndex] = (byte) (bits[byteIndex] | (1 << (bitpos & 7)));
+            }
+            bitpos++;
+        }
+    }
+    return bitpos;
+}
+
+int decode(byte[] bits, int nbits, int root, int[] left, int[] right,
+           byte[] out) {
+    int node = root;
+    int count = 0;
+    for (int pos = 0; pos < nbits; pos++) {
+        int bit = (bits[pos >>> 3] >> (pos & 7)) & 1;
+        node = (bit == 0) ? left[node] : right[node];
+        if (left[node] < 0) {
+            out[count] = (byte) node;
+            count++;
+            node = root;
+        }
+    }
+    return count;
+}
+
+void main() {
+    int nsym = 64;
+    int len = 400;
+    byte[] data = new byte[len];
+    int seed = 555;
+    for (int i = 0; i < len; i++) {
+        seed = seed * 1103515245 + 12345;
+        int r = (seed >>> 16) & 0xfff;
+        // Skewed distribution so the tree is interesting.
+        int sym = 0;
+        while (r >= (1 << (6 - sym)) && sym < 63) {
+            r -= 1 << (6 - sym);
+            sym++;
+        }
+        data[i] = (byte) (sym & 63);
+    }
+    int[] freq = new int[nsym];
+    for (int i = 0; i < len; i++) {
+        freq[data[i] & 0xff]++;
+    }
+    int[] left = new int[nsym * 2];
+    int[] right = new int[nsym * 2];
+    int[] parent = new int[nsym * 2];
+    int root = buildTree(freq, left, right, parent, nsym);
+    byte[] bits = new byte[len * 4];
+    byte[] out = new byte[len];
+    for (int iter = 0; iter < 2; iter++) {
+        for (int i = 0; i < bits.length; i++) {
+            bits[i] = 0;
+        }
+        int nbits = encode(data, parent, left, bits, nsym);
+        int decoded = decode(bits, nbits, root, left, right, out);
+        sink(nbits);
+        sink(decoded);
+        int bad = 0;
+        for (int i = 0; i < decoded; i++) {
+            if (out[i] != data[i]) { bad++; }
+        }
+        sink(bad);
+    }
+}
+"""

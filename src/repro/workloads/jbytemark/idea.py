@@ -1,0 +1,87 @@
+"""jBYTEmark IDEA: the IDEA block cipher's core arithmetic.
+
+16-bit modular multiply (mod 0x10001), add (mod 0x10000) and XOR over
+``char``-width data — heavy masking keeps ranges in [0, 0xffff], so the
+AND-positive rule (AnalyzeDEF Case 1 for bitwise AND) fires constantly.
+"""
+
+DESCRIPTION = "IDEA cipher rounds (mul mod 0x10001) over 16-bit blocks"
+
+SOURCE = """
+int mulIdea(int a, int b) {
+    // IDEA multiplication: 0 represents 0x10000.
+    if (a == 0) {
+        return (0x10001 - b) & 0xffff;
+    }
+    if (b == 0) {
+        return (0x10001 - a) & 0xffff;
+    }
+    int p = a * b;
+    int hi = p >>> 16;
+    int lo = p & 0xffff;
+    int r = lo - hi;
+    if (lo < hi) {
+        r = r + 0x10001;
+    }
+    return r & 0xffff;
+}
+
+void encryptBlock(int[] block, int[] key) {
+    int x1 = block[0];
+    int x2 = block[1];
+    int x3 = block[2];
+    int x4 = block[3];
+    int k = 0;
+    for (int round = 0; round < 8; round++) {
+        x1 = mulIdea(x1, key[k]);
+        x2 = (x2 + key[k + 1]) & 0xffff;
+        x3 = (x3 + key[k + 2]) & 0xffff;
+        x4 = mulIdea(x4, key[k + 3]);
+        int t1 = x1 ^ x3;
+        int t2 = x2 ^ x4;
+        t1 = mulIdea(t1, key[k + 4]);
+        t2 = (t1 + t2) & 0xffff;
+        t2 = mulIdea(t2, key[k + 5]);
+        t1 = (t1 + t2) & 0xffff;
+        x1 = x1 ^ t2;
+        x4 = x4 ^ t1;
+        int tmp = x2 ^ t1;
+        x2 = x3 ^ t2;
+        x3 = tmp;
+        k += 6;
+    }
+    block[0] = mulIdea(x1, key[k]);
+    block[1] = (x3 + key[k + 1]) & 0xffff;
+    block[2] = (x2 + key[k + 2]) & 0xffff;
+    block[3] = mulIdea(x4, key[k + 3]);
+}
+
+void main() {
+    int[] key = new int[52];
+    int seed = 31337;
+    for (int i = 0; i < 52; i++) {
+        seed = seed * 69069 + 1;
+        key[i] = (seed >>> 13) & 0xffff;
+    }
+    int blocks = 100;
+    int[] data = new int[blocks * 4];
+    for (int i = 0; i < blocks * 4; i++) {
+        seed = seed * 69069 + 1;
+        data[i] = (seed >>> 9) & 0xffff;
+    }
+    int[] block = new int[4];
+    for (int iter = 0; iter < 1; iter++) {
+        int h = 0;
+        for (int b = 0; b < blocks; b++) {
+            block[0] = data[b * 4];
+            block[1] = data[b * 4 + 1];
+            block[2] = data[b * 4 + 2];
+            block[3] = data[b * 4 + 3];
+            encryptBlock(block, key);
+            h = (h * 31 + block[0]) ^ block[3];
+            data[b * 4] = block[1];
+        }
+        sink(h);
+    }
+}
+"""

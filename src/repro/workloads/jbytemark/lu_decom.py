@@ -1,0 +1,113 @@
+"""jBYTEmark LU Decomposition: LU factorization with partial pivoting.
+
+Classic dense linear algebra on ``double[][]`` with triangular loops —
+the benchmark where the paper's gen-use reference placement blows up to
+286% of baseline (extensions re-executed at every subscript use).
+"""
+
+DESCRIPTION = "LU decomposition with partial pivoting + solve"
+
+SOURCE = """
+int ludcmp(double[][] a, int n, int[] indx) {
+    int d = 1;
+    double[] vv = new double[n];
+    for (int i = 0; i < n; i++) {
+        double big = 0.0;
+        for (int j = 0; j < n; j++) {
+            double tmp = Math.abs(a[i][j]);
+            if (tmp > big) { big = tmp; }
+        }
+        vv[i] = 1.0 / big;
+    }
+    for (int j = 0; j < n; j++) {
+        for (int i = 0; i < j; i++) {
+            double sum = a[i][j];
+            for (int k = 0; k < i; k++) {
+                sum -= a[i][k] * a[k][j];
+            }
+            a[i][j] = sum;
+        }
+        double big = 0.0;
+        int imax = j;
+        for (int i = j; i < n; i++) {
+            double sum = a[i][j];
+            for (int k = 0; k < j; k++) {
+                sum -= a[i][k] * a[k][j];
+            }
+            a[i][j] = sum;
+            double dum = vv[i] * Math.abs(sum);
+            if (dum >= big) {
+                big = dum;
+                imax = i;
+            }
+        }
+        if (j != imax) {
+            for (int k = 0; k < n; k++) {
+                double dum = a[imax][k];
+                a[imax][k] = a[j][k];
+                a[j][k] = dum;
+            }
+            d = -d;
+            vv[imax] = vv[j];
+        }
+        indx[j] = imax;
+        if (j != n - 1) {
+            double dum = 1.0 / a[j][j];
+            for (int i = j + 1; i < n; i++) {
+                a[i][j] *= dum;
+            }
+        }
+    }
+    return d;
+}
+
+void lubksb(double[][] a, int n, int[] indx, double[] b) {
+    int ii = -1;
+    for (int i = 0; i < n; i++) {
+        int ip = indx[i];
+        double sum = b[ip];
+        b[ip] = b[i];
+        if (ii >= 0) {
+            for (int j = ii; j < i; j++) {
+                sum -= a[i][j] * b[j];
+            }
+        } else if (sum != 0.0) {
+            ii = i;
+        }
+        b[i] = sum;
+    }
+    for (int i = n - 1; i >= 0; i--) {
+        double sum = b[i];
+        for (int j = i + 1; j < n; j++) {
+            sum -= a[i][j] * b[j];
+        }
+        b[i] = sum / a[i][i];
+    }
+}
+
+void main() {
+    int n = 16;
+    double[][] a = new double[n][n];
+    double[] b = new double[n];
+    int[] indx = new int[n];
+    int seed = 20020124;
+    for (int iter = 0; iter < 3; iter++) {
+        for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) {
+                seed = seed * 1103515245 + 12345;
+                a[i][j] = (double) ((seed >>> 14) & 1023) / 64.0 + 0.5;
+            }
+            a[i][i] += 40.0;  // keep it well conditioned
+            b[i] = (double) (i + 1);
+        }
+        int d = ludcmp(a, n, indx);
+        lubksb(a, n, indx, b);
+        sink(d);
+        double h = 0.0;
+        for (int i = 0; i < n; i++) {
+            h = h * 1.0001 + b[i];
+        }
+        sinkd(h);
+    }
+}
+"""

@@ -1,0 +1,102 @@
+"""jBYTEmark Neural Net: back-propagation on a tiny feed-forward net.
+
+Double-precision 2-D array math; integer work is subscripting, and the
+paper's Table 1 shows Neural Net barely improves until the array
+theorems kick in (98.8% -> 0.25%).
+"""
+
+DESCRIPTION = "back-propagation training of an 8-5-8 network"
+
+SOURCE = """
+double sigmoid(double x) {
+    return 1.0 / (1.0 + Math.exp(-x));
+}
+
+void main() {
+    int nin = 8;
+    int nhid = 5;
+    int nout = 8;
+    double[][] w1 = new double[nin][nhid];
+    double[][] w2 = new double[nhid][nout];
+    double[] hid = new double[nhid];
+    double[] out = new double[nout];
+    double[] dOut = new double[nout];
+    double[] dHid = new double[nhid];
+    double[][] pattern = new double[8][8];
+
+    int seed = 1234;
+    for (int i = 0; i < nin; i++) {
+        for (int j = 0; j < nhid; j++) {
+            seed = seed * 1103515245 + 12345;
+            w1[i][j] = ((double) ((seed >>> 16) & 1023) - 512.0) / 1024.0;
+        }
+    }
+    for (int i = 0; i < nhid; i++) {
+        for (int j = 0; j < nout; j++) {
+            seed = seed * 1103515245 + 12345;
+            w2[i][j] = ((double) ((seed >>> 16) & 1023) - 512.0) / 1024.0;
+        }
+    }
+    for (int p = 0; p < 8; p++) {
+        for (int i = 0; i < 8; i++) {
+            pattern[p][i] = (p == i) ? 0.9 : 0.1;
+        }
+    }
+
+    double rate = 0.4;
+    double lastError = 0.0;
+    for (int epoch = 0; epoch < 8; epoch++) {
+        double error = 0.0;
+        for (int p = 0; p < 8; p++) {
+            // forward
+            for (int j = 0; j < nhid; j++) {
+                double s = 0.0;
+                for (int i = 0; i < nin; i++) {
+                    s += pattern[p][i] * w1[i][j];
+                }
+                hid[j] = sigmoid(s);
+            }
+            for (int k = 0; k < nout; k++) {
+                double s = 0.0;
+                for (int j = 0; j < nhid; j++) {
+                    s += hid[j] * w2[j][k];
+                }
+                out[k] = sigmoid(s);
+            }
+            // backward
+            for (int k = 0; k < nout; k++) {
+                double target = pattern[p][k];
+                double diff = target - out[k];
+                error += diff * diff;
+                dOut[k] = diff * out[k] * (1.0 - out[k]);
+            }
+            for (int j = 0; j < nhid; j++) {
+                double s = 0.0;
+                for (int k = 0; k < nout; k++) {
+                    s += dOut[k] * w2[j][k];
+                }
+                dHid[j] = s * hid[j] * (1.0 - hid[j]);
+            }
+            for (int j = 0; j < nhid; j++) {
+                for (int k = 0; k < nout; k++) {
+                    w2[j][k] += rate * dOut[k] * hid[j];
+                }
+            }
+            for (int i = 0; i < nin; i++) {
+                for (int j = 0; j < nhid; j++) {
+                    w1[i][j] += rate * dHid[j] * pattern[p][i];
+                }
+            }
+        }
+        lastError = error;
+    }
+    sinkd(lastError);
+    double h = 0.0;
+    for (int i = 0; i < nin; i++) {
+        for (int j = 0; j < nhid; j++) {
+            h = h * 1.0000001 + w1[i][j];
+        }
+    }
+    sinkd(h);
+}
+"""

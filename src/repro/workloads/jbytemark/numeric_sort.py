@@ -1,0 +1,76 @@
+"""jBYTEmark Numeric Sort: heapsort over signed 32-bit integers.
+
+Array-index-heavy with a data-dependent inner loop — the paper's
+sweet spot for Theorem-4 elimination (sift-down walks ``2*i+1``
+children, a classic non-loop-invariant subscript).
+"""
+
+DESCRIPTION = "heapsort of pseudo-random 32-bit integers"
+
+SOURCE = """
+int gseed = 8675309;
+
+int nextRand() {
+    int s = gseed * 1103515245 + 12345;
+    gseed = s;
+    return s;
+}
+
+void siftDown(int[] a, int n, int start) {
+    int root = start;
+    int tmp = a[root];
+    while (2 * root + 1 < n) {
+        int child = 2 * root + 1;
+        if (child + 1 < n && a[child + 1] > a[child]) {
+            child = child + 1;
+        }
+        if (a[child] <= tmp) {
+            break;
+        }
+        a[root] = a[child];
+        root = child;
+    }
+    a[root] = tmp;
+}
+
+void heapSort(int[] a) {
+    int n = a.length;
+    for (int start = n / 2 - 1; start >= 0; start--) {
+        siftDown(a, n, start);
+    }
+    for (int end = n - 1; end > 0; end--) {
+        int tmp = a[end];
+        a[end] = a[0];
+        a[0] = tmp;
+        siftDown(a, end, 0);
+    }
+}
+
+int checksum(int[] a) {
+    int h = 0;
+    for (int i = 0; i < a.length; i++) {
+        h = h * 31 + a[i];
+    }
+    return h;
+}
+
+void main() {
+    int n = 400;
+    int[] a = new int[n];
+    for (int iter = 0; iter < 2; iter++) {
+        for (int i = 0; i < n; i++) {
+            a[i] = nextRand();
+        }
+        heapSort(a);
+        // verify sortedness
+        int bad = 0;
+        for (int i = 1; i < n; i++) {
+            if (a[i - 1] > a[i]) {
+                bad++;
+            }
+        }
+        sink(bad);
+        sink(checksum(a));
+    }
+}
+"""

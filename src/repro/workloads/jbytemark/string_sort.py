@@ -1,0 +1,72 @@
+"""jBYTEmark String Sort: sorting fixed-width byte strings.
+
+Byte-array traffic: every comparison loads ``byte`` elements, which on
+IA64 zero-extend and need ``extend8`` for the Java ``byte`` value —
+exercising the 8-bit elimination path alongside the 32-bit one.
+"""
+
+DESCRIPTION = "insertion sort of fixed-width byte strings via an index array"
+
+SOURCE = """
+int gseed = 24601;
+
+int nextRand() {
+    int s = gseed * 69069 + 1;
+    gseed = s;
+    return (s >>> 8) & 0x7fffffff;
+}
+
+// Strings live in one pool: string k occupies bytes [k*8, k*8+8).
+int compareStrings(byte[] pool, int x, int y) {
+    int bx = x * 8;
+    int by = y * 8;
+    for (int i = 0; i < 8; i++) {
+        int cx = pool[bx + i] & 0xff;
+        int cy = pool[by + i] & 0xff;
+        if (cx != cy) {
+            return cx - cy;
+        }
+    }
+    return 0;
+}
+
+void sortIndices(byte[] pool, int[] order, int count) {
+    for (int i = 1; i < count; i++) {
+        int key = order[i];
+        int j = i - 1;
+        while (j >= 0 && compareStrings(pool, order[j], key) > 0) {
+            order[j + 1] = order[j];
+            j--;
+        }
+        order[j + 1] = key;
+    }
+}
+
+void main() {
+    int count = 90;
+    byte[] pool = new byte[count * 8];
+    int[] order = new int[count];
+    for (int iter = 0; iter < 1; iter++) {
+        for (int k = 0; k < count; k++) {
+            order[k] = k;
+            for (int i = 0; i < 8; i++) {
+                pool[k * 8 + i] = (byte) (65 + nextRand() % 26);
+            }
+        }
+        sortIndices(pool, order, count);
+        int bad = 0;
+        for (int k = 1; k < count; k++) {
+            if (compareStrings(pool, order[k - 1], order[k]) > 0) {
+                bad++;
+            }
+        }
+        sink(bad);
+        int h = 0;
+        for (int k = 0; k < count; k++) {
+            h = h * 131 + order[k];
+            h = h + pool[order[k] * 8];
+        }
+        sink(h);
+    }
+}
+"""

@@ -1,0 +1,1 @@
+"""SPECjvm98 suite stand-ins."""

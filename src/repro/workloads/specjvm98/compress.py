@@ -1,0 +1,117 @@
+"""SPECjvm98 201_compress: LZW compression, as the real benchmark.
+
+12-bit-code LZW with hash-chained dictionary tables over byte buffers —
+the paper's Figure 14 shows compress with the biggest SPECjvm98 speedup
+from eliminating extensions.
+"""
+
+DESCRIPTION = "LZW compress + decompress of a synthetic byte buffer"
+
+SOURCE = """
+int compressLzw(byte[] input, int[] codes, int[] prefix, int[] suffix) {
+    int tableSize = 4096;
+    // Dictionary: entry e (>= 256) maps prefix[e] + suffix[e].
+    // Lookup is a linear probe over a small hash table.
+    int[] hashCode = new int[1 << 11];
+    int[] hashEntry = new int[1 << 11];
+    for (int i = 0; i < hashCode.length; i++) {
+        hashCode[i] = -1;
+    }
+    int next = 256;
+    int w = input[0] & 0xff;
+    int outCount = 0;
+    for (int pos = 1; pos < input.length; pos++) {
+        int c = input[pos] & 0xff;
+        int key = (w << 8) ^ c;
+        int slot = (key * 31) & (hashCode.length - 1);
+        int found = -1;
+        while (hashCode[slot] != -1) {
+            if (hashCode[slot] == key) {
+                found = hashEntry[slot];
+                break;
+            }
+            slot = (slot + 1) & (hashCode.length - 1);
+        }
+        if (found >= 0) {
+            w = found;
+        } else {
+            codes[outCount] = w;
+            outCount++;
+            if (next < tableSize) {
+                prefix[next] = w;
+                suffix[next] = c;
+                hashCode[slot] = key;
+                hashEntry[slot] = next;
+                next++;
+            }
+            w = c;
+        }
+    }
+    codes[outCount] = w;
+    outCount++;
+    return outCount;
+}
+
+int expandCode(int code, int[] prefix, int[] suffix, byte[] out, int at,
+               byte[] stack) {
+    // Writes the expansion of one code at position `at`, returns length.
+    int depth = 0;
+    while (code >= 256) {
+        stack[depth] = (byte) suffix[code];
+        depth++;
+        code = prefix[code];
+    }
+    stack[depth] = (byte) code;
+    depth++;
+    for (int i = depth - 1; i >= 0; i--) {
+        out[at] = stack[i];
+        at++;
+    }
+    return depth;
+}
+
+int decompressLzw(int[] codes, int count, int[] prefix, int[] suffix,
+                  byte[] out) {
+    int at = 0;
+    byte[] stack = new byte[256];
+    for (int i = 0; i < count; i++) {
+        at += expandCode(codes[i], prefix, suffix, out, at, stack);
+    }
+    return at;
+}
+
+void main() {
+    int len = 1600;
+    byte[] input = new byte[len];
+    int seed = 1979;
+    int pos = 0;
+    // Compressible data: short pseudo-random runs of repeated bytes.
+    while (pos < len) {
+        seed = seed * 1103515245 + 12345;
+        int value = (seed >>> 16) & 63;
+        int run = 1 + ((seed >>> 8) & 7);
+        for (int r = 0; r < run && pos < len; r++) {
+            input[pos] = (byte) value;
+            pos++;
+        }
+    }
+    int[] codes = new int[len + 1];
+    int[] prefix = new int[4096];
+    int[] suffix = new int[4096];
+    int count = compressLzw(input, codes, prefix, suffix);
+    byte[] out = new byte[len + 16];
+    int expanded = decompressLzw(codes, count, prefix, suffix, out);
+    sink(count);
+    sink(expanded);
+    int bad = 0;
+    for (int i = 0; i < len; i++) {
+        if (out[i] != input[i]) { bad++; }
+    }
+    sink(bad);
+    int h = 0;
+    for (int i = 0; i < count; i++) {
+        h = h * 131 + codes[i];
+    }
+    sink(h);
+}
+"""

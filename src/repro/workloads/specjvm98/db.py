@@ -1,0 +1,99 @@
+"""SPECjvm98 209_db: an in-memory database of keyed records.
+
+Add / lookup / modify / delete operations against a sorted index with
+binary search and shell sort, like the original's address database.
+"""
+
+DESCRIPTION = "record add/find/modify/delete against a sorted int index"
+
+SOURCE = """
+global int dbSize = 0;
+
+void shellSort(int[] keys, long[] payload, int n) {
+    int gap = n / 2;
+    while (gap > 0) {
+        for (int i = gap; i < n; i++) {
+            int key = keys[i];
+            long value = payload[i];
+            int j = i;
+            while (j >= gap && keys[j - gap] > key) {
+                keys[j] = keys[j - gap];
+                payload[j] = payload[j - gap];
+                j -= gap;
+            }
+            keys[j] = key;
+            payload[j] = value;
+        }
+        gap /= 2;
+    }
+}
+
+int binarySearch(int[] keys, int n, int target) {
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) >>> 1;
+        int k = keys[mid];
+        if (k == target) {
+            return mid;
+        }
+        if (k < target) {
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return -1;
+}
+
+void main() {
+    int capacity = 300;
+    int[] keys = new int[capacity];
+    long[] payload = new long[capacity];
+    int seed = 314159;
+    int n = 0;
+    // Load phase.
+    for (int i = 0; i < 220; i++) {
+        seed = seed * 1103515245 + 12345;
+        keys[n] = (seed >>> 8) & 0xffff;
+        payload[n] = (long) keys[n] * 1000L + (long) i;
+        n++;
+    }
+    shellSort(keys, payload, n);
+    // Query phase: lookups, some hits and misses.
+    int hits = 0;
+    long acc = 0L;
+    for (int q = 0; q < 400; q++) {
+        seed = seed * 1103515245 + 12345;
+        int target = (seed >>> 8) & 0xffff;
+        int at = binarySearch(keys, n, target);
+        if (at >= 0) {
+            hits++;
+            acc += payload[at];
+        }
+    }
+    sink(hits);
+    sink(acc);
+    // Modify phase: bump payloads of every 7th record.
+    for (int i = 0; i < n; i += 7) {
+        payload[i] += 13L;
+    }
+    // Delete phase: drop records with odd keys (stable compaction).
+    int kept = 0;
+    for (int i = 0; i < n; i++) {
+        if ((keys[i] & 1) == 0) {
+            keys[kept] = keys[i];
+            payload[kept] = payload[i];
+            kept++;
+        }
+    }
+    n = kept;
+    dbSize = n;
+    long h = 0L;
+    for (int i = 0; i < n; i++) {
+        h = h * 31L + payload[i];
+    }
+    sink(n);
+    sink(h);
+}
+"""

@@ -1,0 +1,120 @@
+"""SPECjvm98 228_jack: tokenizing / parsing of generated text.
+
+A scanner over a synthetic character buffer — identifier/number/operator
+classification, nesting-depth tracking, token counting — the branchy,
+byte-at-a-time control flow of the original parser generator.
+"""
+
+DESCRIPTION = "token scanner + nesting checker over a generated buffer"
+
+SOURCE = """
+// Character classes.
+boolean isLetter(int c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+}
+
+boolean isDigit(int c) {
+    return c >= 48 && c <= 57;
+}
+
+boolean isSpace(int c) {
+    return c == 32 || c == 10 || c == 9;
+}
+
+void main() {
+    // Generate a pseudo-program text.
+    int len = 2200;
+    byte[] text = new byte[len];
+    int seed = 616;
+    int pos = 0;
+    while (pos < len - 8) {
+        seed = seed * 1103515245 + 12345;
+        int what = (seed >>> 9) % 10;
+        if (what < 4) {
+            // identifier of 1-6 letters
+            int idlen = 1 + ((seed >>> 20) % 6);
+            for (int i = 0; i < idlen && pos < len; i++) {
+                seed = seed * 69069 + 1;
+                text[pos] = (byte) (97 + ((seed >>> 11) % 26));
+                pos++;
+            }
+        } else if (what < 6) {
+            int numlen = 1 + ((seed >>> 17) % 4);
+            for (int i = 0; i < numlen && pos < len; i++) {
+                seed = seed * 69069 + 1;
+                text[pos] = (byte) (48 + ((seed >>> 13) % 10));
+                pos++;
+            }
+        } else if (what == 6) {
+            text[pos] = 40; pos++;  // '('
+        } else if (what == 7) {
+            text[pos] = 41; pos++;  // ')'
+        } else if (what == 8) {
+            seed = seed * 69069 + 1;
+            int ops = (seed >>> 15) % 5;
+            int op = 43;             // '+'
+            if (ops == 1) { op = 45; }
+            if (ops == 2) { op = 42; }
+            if (ops == 3) { op = 61; }
+            if (ops == 4) { op = 59; }
+            text[pos] = (byte) op; pos++;
+        } else {
+            text[pos] = 32; pos++;  // ' '
+        }
+    }
+    while (pos < len) { text[pos] = 32; pos++; }
+
+    // Scan.
+    int idents = 0;
+    int numbers = 0;
+    int operators = 0;
+    int maxDepth = 0;
+    int depth = 0;
+    int unbalanced = 0;
+    int identHash = 0;
+    int p = 0;
+    while (p < len) {
+        int c = text[p] & 0xff;
+        if (isSpace(c)) {
+            p++;
+        } else if (isLetter(c)) {
+            int h = 0;
+            while (p < len && (isLetter(text[p] & 0xff)
+                               || isDigit(text[p] & 0xff))) {
+                h = h * 31 + (text[p] & 0xff);
+                p++;
+            }
+            idents++;
+            identHash ^= h;
+        } else if (isDigit(c)) {
+            int v = 0;
+            while (p < len && isDigit(text[p] & 0xff)) {
+                v = v * 10 + ((text[p] & 0xff) - 48);
+                p++;
+            }
+            numbers++;
+            identHash += v;
+        } else if (c == 40) {
+            depth++;
+            if (depth > maxDepth) { maxDepth = depth; }
+            p++;
+        } else if (c == 41) {
+            if (depth == 0) {
+                unbalanced++;
+            } else {
+                depth--;
+            }
+            p++;
+        } else {
+            operators++;
+            p++;
+        }
+    }
+    sink(idents);
+    sink(numbers);
+    sink(operators);
+    sink(maxDepth);
+    sink(unbalanced);
+    sink(identHash);
+}
+"""

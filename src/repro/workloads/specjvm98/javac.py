@@ -1,0 +1,107 @@
+"""SPECjvm98 213_javac: compiler front-end symbol-table kernel.
+
+Identifier scanning plus an open-addressing hash symbol table with
+scope-depth tagging — the lookup/insert mix that dominates a compiler's
+front end.
+"""
+
+DESCRIPTION = "identifier scan + open-addressing symbol table ops"
+
+SOURCE = """
+global int symCount = 0;
+
+int hashName(byte[] text, int from, int to) {
+    int h = 0;
+    for (int i = from; i < to; i++) {
+        h = h * 31 + (text[i] & 0xff);
+    }
+    return h & 0x7fffffff;
+}
+
+// Table: slotHash[i] (-1 empty), slotDepth[i], slotUses[i].
+int intern(int[] slotHash, int[] slotDepth, int[] slotUses,
+           int h, int depth) {
+    int mask = slotHash.length - 1;
+    int slot = h & mask;
+    while (slotHash[slot] != -1) {
+        if (slotHash[slot] == h) {
+            slotUses[slot]++;
+            return slot;
+        }
+        slot = (slot + 1) & mask;
+    }
+    slotHash[slot] = h;
+    slotDepth[slot] = depth;
+    slotUses[slot] = 1;
+    symCount = symCount + 1;
+    return slot;
+}
+
+void main() {
+    int tableSize = 512;
+    int[] slotHash = new int[tableSize];
+    int[] slotDepth = new int[tableSize];
+    int[] slotUses = new int[tableSize];
+    for (int i = 0; i < tableSize; i++) {
+        slotHash[i] = -1;
+    }
+    // Generate source-like text: identifiers separated by punctuation,
+    // braces adjust scope depth.
+    int len = 1800;
+    byte[] text = new byte[len];
+    int seed = 5150;
+    for (int i = 0; i < len; i++) {
+        seed = seed * 1103515245 + 12345;
+        int r = (seed >>> 10) % 100;
+        if (r < 70) {
+            text[i] = (byte) (97 + ((seed >>> 17) % 16));  // a..p
+        } else if (r < 80) {
+            text[i] = 32;   // space
+        } else if (r < 90) {
+            text[i] = 46;   // '.'
+        } else if (r < 95) {
+            text[i] = 123;  // '{'
+        } else {
+            text[i] = 125;  // '}'
+        }
+    }
+    int depth = 0;
+    int p = 0;
+    int interned = 0;
+    int usesTotal = 0;
+    while (p < len) {
+        int c = text[p] & 0xff;
+        if (c >= 97 && c <= 122) {
+            int from = p;
+            while (p < len) {
+                int cc = text[p] & 0xff;
+                if (cc < 97 || cc > 122) { break; }
+                p++;
+            }
+            int h = hashName(text, from, p);
+            int slot = intern(slotHash, slotDepth, slotUses, h, depth);
+            interned++;
+            usesTotal += slotUses[slot];
+        } else if (c == 123) {
+            depth++;
+            p++;
+        } else if (c == 125) {
+            if (depth > 0) { depth--; }
+            p++;
+        } else {
+            p++;
+        }
+    }
+    sink(symCount);
+    sink(interned);
+    sink(usesTotal);
+    int h = 0;
+    for (int i = 0; i < tableSize; i++) {
+        if (slotHash[i] != -1) {
+            h = h * 31 + slotUses[i] + slotDepth[i];
+        }
+    }
+    sink(h);
+    sink(depth);
+}
+"""

@@ -1,0 +1,86 @@
+"""SPECjvm98 202_jess: forward-chaining rule matching.
+
+Facts are int-coded triples (kind, a, b) in parallel arrays; rules join
+pairs of facts and assert new ones until a bounded fixpoint — the
+pointer-chasing, compare-heavy control flow of a production system.
+"""
+
+DESCRIPTION = "forward-chaining joins over int-coded fact triples"
+
+SOURCE = """
+// Fact store: kind[i], fa[i], fb[i].  Kinds: 1=parent, 2=grandparent,
+// 3=sibling, 4=cousin.
+global int factCount = 0;
+
+int addFact(int[] kind, int[] fa, int[] fb, int k, int a, int b) {
+    // Deduplicate.
+    int n = factCount;
+    for (int i = 0; i < n; i++) {
+        if (kind[i] == k && fa[i] == a && fb[i] == b) {
+            return 0;
+        }
+    }
+    kind[n] = k;
+    fa[n] = a;
+    fb[n] = b;
+    factCount = n + 1;
+    return 1;
+}
+
+void main() {
+    int capacity = 600;
+    int[] kind = new int[capacity];
+    int[] fa = new int[capacity];
+    int[] fb = new int[capacity];
+    // Seed facts: a binary family tree of 40 people: parent(i, 2i+1/2i+2).
+    for (int i = 0; i < 14; i++) {
+        if (2 * i + 1 < 28) { addFact(kind, fa, fb, 1, i, 2 * i + 1); }
+        if (2 * i + 2 < 28) { addFact(kind, fa, fb, 1, i, 2 * i + 2); }
+    }
+    // Fire rules to fixpoint (bounded rounds).
+    int added = 1;
+    int rounds = 0;
+    while (added > 0 && rounds < 3) {
+        added = 0;
+        int n = factCount;
+        for (int i = 0; i < n; i++) {
+            if (kind[i] != 1) { continue; }
+            for (int j = 0; j < n; j++) {
+                if (kind[j] != 1) { continue; }
+                // grandparent(x,z) :- parent(x,y), parent(y,z)
+                if (fb[i] == fa[j]) {
+                    added += addFact(kind, fa, fb, 2, fa[i], fb[j]);
+                }
+                // sibling(y1,y2) :- parent(x,y1), parent(x,y2), y1 < y2
+                if (fa[i] == fa[j] && fb[i] < fb[j]) {
+                    added += addFact(kind, fa, fb, 3, fb[i], fb[j]);
+                }
+            }
+        }
+        // cousin(a,b) :- sibling(x,y), parent(x,a), parent(y,b)
+        n = factCount;
+        for (int i = 0; i < n; i++) {
+            if (kind[i] != 3) { continue; }
+            for (int j = 0; j < n; j++) {
+                if (kind[j] != 1 || fa[j] != fa[i]) { continue; }
+                for (int k = 0; k < n; k++) {
+                    if (kind[k] != 1 || fa[k] != fb[i]) { continue; }
+                    added += addFact(kind, fa, fb, 4, fb[j], fb[k]);
+                }
+            }
+        }
+        rounds++;
+    }
+    int h = 0;
+    int[] perKind = new int[5];
+    for (int i = 0; i < factCount; i++) {
+        h = h * 31 + (kind[i] << 16) + (fa[i] << 8) + fb[i];
+        perKind[kind[i]]++;
+    }
+    sink(factCount);
+    sink(h);
+    sink(perKind[2]);
+    sink(perKind[3]);
+    sink(perKind[4]);
+}
+"""

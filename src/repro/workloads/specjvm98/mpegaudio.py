@@ -1,0 +1,73 @@
+"""SPECjvm98 222_mpegaudio: polyphase filter-bank kernel.
+
+Windowed dot products and a 32-band matrixing DCT over double arrays —
+the numeric heart of MPEG audio decoding, with dense int subscript
+arithmetic (i*32+j style), mirroring the original decoder's inner loop.
+"""
+
+DESCRIPTION = "polyphase filter bank: windowing + 32-band matrixing"
+
+SOURCE = """
+void main() {
+    int nbands = 32;
+    int taps = 512;
+    double[] window = new double[taps];
+    double[] fifo = new double[taps];
+    double[] bands = new double[nbands];
+    double[] cosTable = new double[nbands * 64];
+    // Synthesis window (deterministic pseudo-Kaiser shape).
+    for (int i = 0; i < taps; i++) {
+        double x = ((double) i - 256.0) / 256.0;
+        window[i] = (1.0 - x * x) * Math.cos(3.14159265 * x / 2.0);
+    }
+    for (int k = 0; k < nbands; k++) {
+        for (int m = 0; m < 64; m++) {
+            cosTable[k * 64 + m] =
+                Math.cos((2.0 * (double) k + 1.0) * (double) m
+                         * 3.14159265358979 / 64.0);
+        }
+    }
+    int seed = 777;
+    double h = 0.0;
+    for (int frame = 0; frame < 3; frame++) {
+        // Shift 64 new samples into the FIFO.
+        for (int i = taps - 1; i >= 64; i--) {
+            fifo[i] = fifo[i - 64];
+        }
+        for (int i = 0; i < 64; i++) {
+            seed = seed * 1103515245 + 12345;
+            fifo[i] = (double) ((seed >> 16) & 1023) / 512.0 - 1.0;
+        }
+        // Windowing: 64 partial sums of 8 taps each.
+        double[] z = new double[64];
+        for (int i = 0; i < 64; i++) {
+            double s = 0.0;
+            for (int j = 0; j < 8; j++) {
+                s += fifo[i + j * 64] * window[i + j * 64];
+            }
+            z[i] = s;
+        }
+        // Matrixing: 32 bands from 64 windowed values.
+        for (int k = 0; k < nbands; k++) {
+            double s = 0.0;
+            for (int m = 0; m < 64; m++) {
+                s += cosTable[k * 64 + m] * z[m];
+            }
+            bands[k] = s;
+        }
+        for (int k = 0; k < nbands; k++) {
+            h = h * 1.0001 + bands[k];
+        }
+    }
+    sinkd(h);
+    // Quantize band energies to ints (the decoder's PCM step).
+    int ih = 0;
+    for (int k = 0; k < nbands; k++) {
+        int q = (int) (bands[k] * 32767.0);
+        if (q > 32767) { q = 32767; }
+        if (q < -32768) { q = -32768; }
+        ih = ih * 31 + q;
+    }
+    sink(ih);
+}
+"""

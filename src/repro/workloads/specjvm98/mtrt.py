@@ -1,0 +1,102 @@
+"""SPECjvm98 227_mtrt: a miniature ray tracer.
+
+Sphere intersections (quadratic formula), shading, and a pixel grid —
+double-precision math with int pixel/sphere subscripts, like the
+original multi-threaded ray tracer (run single-threaded here, as the
+paper also ran benchmarks standalone from the command line).
+"""
+
+DESCRIPTION = "ray-sphere intersection render over a small pixel grid"
+
+SOURCE = """
+// Scene: NS spheres; sphere s has center (cx[s],cy[s],cz[s]), radius r[s].
+double intersect(double ox, double oy, double oz,
+                 double dx, double dy, double dz,
+                 double cx, double cy, double cz, double radius) {
+    double lx = cx - ox;
+    double ly = cy - oy;
+    double lz = cz - oz;
+    double b = lx * dx + ly * dy + lz * dz;
+    double det = b * b - (lx * lx + ly * ly + lz * lz) + radius * radius;
+    if (det < 0.0) {
+        return -1.0;
+    }
+    det = Math.sqrt(det);
+    double t = b - det;
+    if (t > 0.0001) {
+        return t;
+    }
+    t = b + det;
+    if (t > 0.0001) {
+        return t;
+    }
+    return -1.0;
+}
+
+void main() {
+    int ns = 5;
+    double[] cx = new double[ns];
+    double[] cy = new double[ns];
+    double[] cz = new double[ns];
+    double[] rad = new double[ns];
+    double[] shade = new double[ns];
+    for (int s = 0; s < ns; s++) {
+        cx[s] = (double) (s * 2 - 4);
+        cy[s] = (double) ((s * 7) % 3 - 1);
+        cz[s] = 8.0 + (double) s;
+        rad[s] = 1.0 + 0.3 * (double) s;
+        shade[s] = 0.2 + 0.15 * (double) s;
+    }
+    int width = 28;
+    int height = 28;
+    int[] image = new int[width * height];
+    double lightx = 0.577;
+    double lighty = 0.577;
+    double lightz = -0.577;
+    for (int py = 0; py < height; py++) {
+        for (int px = 0; px < width; px++) {
+            double dx = ((double) px - 14.0) / 14.0;
+            double dy = ((double) py - 14.0) / 14.0;
+            double dz = 1.0;
+            double norm = Math.sqrt(dx * dx + dy * dy + dz * dz);
+            dx /= norm; dy /= norm; dz /= norm;
+            double best = 1.0e30;
+            int hit = -1;
+            for (int s = 0; s < ns; s++) {
+                double t = intersect(0.0, 0.0, 0.0, dx, dy, dz,
+                                     cx[s], cy[s], cz[s], rad[s]);
+                if (t > 0.0 && t < best) {
+                    best = t;
+                    hit = s;
+                }
+            }
+            int pixel = 0;
+            if (hit >= 0) {
+                // Lambert shading from the surface normal.
+                double hx = dx * best;
+                double hy = dy * best;
+                double hz = dz * best;
+                double nx = (hx - cx[hit]) / rad[hit];
+                double ny = (hy - cy[hit]) / rad[hit];
+                double nz = (hz - cz[hit]) / rad[hit];
+                double lambert = nx * lightx + ny * lighty + nz * lightz;
+                if (lambert < 0.0) {
+                    lambert = 0.0;
+                }
+                double v = shade[hit] + 0.8 * lambert;
+                pixel = (int) (v * 255.0);
+                if (pixel > 255) { pixel = 255; }
+            }
+            image[py * width + px] = pixel;
+        }
+    }
+    int h = 0;
+    int lit = 0;
+    for (int i = 0; i < width * height; i++) {
+        h = h * 31 + image[i];
+        if (image[i] > 0) { lit++; }
+    }
+    sink(h);
+    sink(lit);
+}
+"""

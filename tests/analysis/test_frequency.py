@@ -1,0 +1,71 @@
+"""Tests for execution-frequency estimation and branch profiles."""
+
+from repro.analysis import BranchProfile, estimate_frequencies
+from repro.interp import collect_branch_profiles
+from tests.conftest import make_fig7_program
+
+
+def _block(func, prefix):
+    for block in func.blocks:
+        if block.label.startswith(prefix):
+            return block
+    raise KeyError(prefix)
+
+
+class TestStaticEstimate:
+    def test_loop_blocks_hotter(self):
+        func = make_fig7_program(5).main
+        estimate_frequencies(func)
+        body = _block(func, "body")
+        exit_block = _block(func, "exit")
+        assert body.freq > exit_block.freq
+        assert body.freq > func.entry.freq
+
+    def test_loop_multiplier_scales(self):
+        func = make_fig7_program(5).main
+        estimate_frequencies(func, loop_multiplier=10.0)
+        low = _block(func, "body").freq
+        estimate_frequencies(func, loop_multiplier=100.0)
+        high = _block(func, "body").freq
+        assert high > low
+
+    def test_entry_frequency_is_one(self):
+        func = make_fig7_program(5).main
+        estimate_frequencies(func)
+        assert func.entry.freq == 1.0
+
+
+class TestProfileGuided:
+    def test_profile_changes_estimates(self):
+        program = make_fig7_program(50)
+        profiles = collect_branch_profiles(program)
+        assert "main" in profiles
+        func = program.main
+        estimate_frequencies(func, profiles["main"])
+        body = _block(func, "body")
+        # With the profile, the loop body's relative weight reflects the
+        # 50 observed iterations rather than the static guess.
+        assert body.freq > 1.0
+
+    def test_profile_probability(self):
+        profile = BranchProfile()
+        profile.record("b", "hot", 90)
+        profile.record("b", "cold", 10)
+        assert profile.probability("b", ["hot", "cold"], 0) == 0.9
+        assert profile.probability("b", ["hot", "cold"], 1) == 0.1
+
+    def test_unobserved_block_has_no_probability(self):
+        profile = BranchProfile()
+        assert profile.probability("never", ["a", "b"], 0) is None
+
+    def test_profile_edges_recorded_by_interpreter(self):
+        program = make_fig7_program(7)
+        profiles = collect_branch_profiles(program)
+        edges = profiles["main"].edge_counts
+        # 7 iterations: one loop entry plus six back-edge transfers.
+        inbound = [count for (src, dst), count in edges.items()
+                   if dst.startswith("body")]
+        assert sum(inbound) == 7
+        assert profiles["main"].block_count(
+            [d for (s, d), _ in edges.items() if d.startswith("body")][0]
+        ) == 7

@@ -1,0 +1,162 @@
+"""Adversarial tests for the guarded-induction-variable range rule.
+
+Each case constructs a loop where a naive guard-matching analysis would
+claim a bound that does not actually hold; the rule must return TOP (or
+a sound interval), and the compiled program must behave identically.
+"""
+
+from repro.analysis import Chains, TOP, ValueRanges
+from repro.core import VARIANTS, compile_program
+from repro.frontend import compile_source
+from repro.ir import Cond, Opcode, Program, ScalarType, build_function
+from repro.machine import IA64
+from tests.conftest import run_ideal, run_machine
+
+
+def _range_at_ret(program):
+    func = program.main
+    chains = Chains(func)
+    ranges = ValueRanges(chains, IA64)
+    ret = [i for _, i in func.instructions() if i.opcode is Opcode.RET][0]
+    return ranges.range_of_use(ret, 0)
+
+
+class TestUnsoundPatternsRejected:
+    def test_guard_not_on_cycle(self):
+        """A compare that exists but does not gate the back edge."""
+        program = Program()
+        b = build_function(program, "main", [("p", ScalarType.I32)],
+                           ScalarType.I32)
+        i = b.func.named_reg("i", ScalarType.I32)
+        zero = b.const(0)
+        one = b.const(1)
+        ten = b.const(10)
+        b.mov(zero, i)
+        # An unrelated bounded compare of i outside the loop.
+        b.cmp(Opcode.CMP32, Cond.LT, i, ten)
+        loop = b.block("loop")
+        done = b.block("done")
+        b.jmp(loop)
+        b.switch(loop)
+        b.binop(Opcode.ADD32, i, one, i)
+        # The loop exits on p, never on i.
+        cond = b.cmp(Opcode.CMP32, Cond.LT, i, b.func.params[0])
+        dummy = b.cmp(Opcode.CMP32, Cond.NE, b.func.params[0], zero)
+        b.br(dummy, loop, done)
+        b.switch(done)
+        b.ret(i)
+        del cond
+        assert _range_at_ret(program) == TOP
+
+    def test_reset_inside_loop_included_in_bounds(self):
+        """A second definition of the counter inside the loop must
+        contribute its range to the result."""
+        source = """
+        int main() {
+            int i = 0;
+            int t = 0;
+            for (int k = 0; k < 20; k++) {
+                i = i + 1;
+                if (k == 10) { i = 1000; }
+                t += i;
+            }
+            sink(t);
+            return t;
+        }
+        """
+        program = compile_source(source)
+        gold = run_ideal(program)
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        assert run_machine(compiled.program).observable() == gold.observable()
+
+    def test_wrapping_step_rejected(self):
+        """A loop designed to overflow: the post-step clamp must go TOP
+        rather than claim an in-range interval."""
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        i = b.func.named_reg("i", ScalarType.I32)
+        big = b.const(0x7FFFFFF0)
+        step = b.const(0x100)
+        limit = b.const(0x7FFFFFFC)
+        b.mov(big, i)
+        loop = b.block("loop")
+        done = b.block("done")
+        b.jmp(loop)
+        b.switch(loop)
+        b.binop(Opcode.ADD32, i, step, i)
+        cond = b.cmp(Opcode.CMP32, Cond.LT, i, limit)
+        b.br(cond, loop, done)
+        b.switch(done)
+        b.ret(i)
+        interval = _range_at_ret(program)
+        # max(init, guard) + step exceeds INT32_MAX: must clamp to TOP.
+        assert interval == TOP
+
+    def test_unsigned_guard_ignored(self):
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        i = b.func.named_reg("i", ScalarType.I32)
+        zero = b.const(0)
+        one = b.const(1)
+        ten = b.const(10)
+        b.mov(zero, i)
+        loop = b.block("loop")
+        done = b.block("done")
+        b.jmp(loop)
+        b.switch(loop)
+        b.binop(Opcode.ADD32, i, one, i)
+        cond = b.cmp(Opcode.CMP32, Cond.ULT, i, ten)
+        b.br(cond, loop, done)
+        b.switch(done)
+        b.ret(i)
+        # Unsigned compares are not used as bounds (although here it
+        # would be fine, the rule stays conservative).
+        assert _range_at_ret(program) == TOP
+
+
+class TestSoundPatternsAccepted:
+    def test_for_loop_end_to_end(self):
+        """Loop counters bound through the guard let the full pipeline
+        strip subscript extensions from multiplied indices."""
+        source = """
+        int main() {
+            int[] table = new int[2048];
+            int t = 0;
+            for (int k = 0; k < 32; k++) {
+                for (int m = 0; m < 64; m++) {
+                    table[k * 64 + m] = k + m;
+                }
+            }
+            for (int k = 0; k < 32; k++) {
+                t += table[k * 64 + 5];
+            }
+            sink(t);
+            return t;
+        }
+        """
+        program = compile_source(source)
+        gold = run_ideal(program)
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        run = run_machine(compiled.program)
+        assert run.observable() == gold.observable()
+        # Subscript extensions in the loops are gone; only a bounded
+        # residue remains (the sink protection, at most once per run).
+        assert run.extends32 <= 2
+
+    def test_nested_induction_bounds_compose(self):
+        source = """
+        int main() {
+            int acc = 0;
+            for (int i = 1; i <= 10; i++) {
+                for (int j = i; j < 12; j++) {
+                    acc += i * j;
+                }
+            }
+            sink(acc);
+            return acc;
+        }
+        """
+        program = compile_source(source)
+        gold = run_ideal(program)
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        assert run_machine(compiled.program).observable() == gold.observable()

@@ -1,0 +1,88 @@
+"""Irreducible control flow: the analyses must stay conservative and
+the pipeline must stay sound.
+
+Natural-loop detection only recognizes single-entry loops; a
+multi-entry (irreducible) cycle has no back edge dominated by a header,
+so loop depth stays 0 and the induction/frequency machinery must not
+claim anything about it.
+"""
+
+from repro.analysis import Chains, DominatorTree, LoopForest, TOP, ValueRanges
+from repro.analysis.frequency import estimate_frequencies
+from repro.core import VARIANTS, compile_program
+from repro.ir import Opcode
+from repro.ir.parser import parse_program
+from repro.machine import IA64
+from tests.conftest import run_ideal, run_machine
+
+# Two blocks jumping into each other, each reachable from the entry:
+# a classic irreducible region.
+_IRREDUCIBLE = """
+func @main(i32) -> i32 params(%p) {
+entry:
+  %i = const.i32 0
+  %one = const.i32 1
+  %ten = const.i32 10
+  %zero = const.i32 0
+  %c = cmp32.ne %p, %zero
+  br %c, ->left, ->right
+left:
+  %i = add32 %i, %one
+  %cl = cmp32.lt %i, %ten
+  br %cl, ->right, ->done
+right:
+  %i = add32 %i, %one
+  %cr = cmp32.lt %i, %ten
+  br %cr, ->left, ->done
+done:
+  ret %i
+}
+"""
+
+
+def _program():
+    return parse_program(_IRREDUCIBLE)
+
+
+class TestAnalysesStayConservative:
+    def test_no_natural_loops_detected(self):
+        func = _program().main
+        forest = LoopForest(func)
+        assert forest.loops == []
+        assert all(block.loop_depth == 0 for block in func.blocks)
+
+    def test_dominators_well_defined(self):
+        func = _program().main
+        tree = DominatorTree(func)
+        left = func.block("left")
+        right = func.block("right")
+        done = func.block("done")
+        assert tree.immediate_dominator(left) is func.entry
+        assert tree.immediate_dominator(right) is func.entry
+        assert tree.immediate_dominator(done) is func.entry
+
+    def test_induction_range_refuses_unguardable_cycle(self):
+        # Two step instructions for %i (one per block) mean no single
+        # step definition: ranges must be TOP, never a wrong interval.
+        func = _program().main
+        chains = Chains(func)
+        ranges = ValueRanges(chains, IA64)
+        ret = [i for _, i in func.instructions()
+               if i.opcode is Opcode.RET][0]
+        assert ranges.range_of_use(ret, 0) == TOP
+
+    def test_frequency_estimation_terminates(self):
+        func = _program().main
+        estimate_frequencies(func)
+        assert all(block.freq > 0 for block in func.blocks)
+
+
+class TestPipelineSoundOnIrreducible:
+    def test_all_variants_equivalent(self):
+        program = _program()
+        for args in ((0,), (1,)):
+            gold = run_ideal(program, args=args)
+            for name, config in VARIANTS.items():
+                compiled = compile_program(program, config)
+                run = run_machine(compiled.program, args=args)
+                assert run.observable() == gold.observable(), (name, args)

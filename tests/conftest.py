@@ -1,0 +1,97 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VARIANTS, compile_program
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.ir import (
+    Cond,
+    Opcode,
+    Program,
+    ScalarType,
+    build_function,
+    verify_program,
+)
+
+
+def run_ideal(program, fuel: int = 5_000_000, args: tuple = ()):
+    """Run pre-conversion IR with ideal (always canonical) semantics."""
+    return Interpreter(program, mode="ideal", fuel=fuel).run(args=args)
+
+
+def run_machine(program, fuel: int = 5_000_000, args: tuple = (), **kwargs):
+    """Run converted IR with machine-faithful semantics."""
+    return Interpreter(program, mode="machine", fuel=fuel, **kwargs).run(
+        args=args
+    )
+
+
+def assert_all_variants_sound(source: str, fuel: int = 5_000_000):
+    """Compile under every variant; observable behaviour must match."""
+    program = compile_source(source, "test")
+    gold = run_ideal(program, fuel)
+    for name, config in VARIANTS.items():
+        compiled = compile_program(program, config)
+        run = run_machine(compiled.program, fuel)
+        assert run.observable() == gold.observable(), (
+            f"variant {name!r} changed behaviour"
+        )
+    return gold
+
+
+def make_fig7_program(iterations: int = 50) -> Program:
+    """The paper's Figure 7 kernel, built directly in IR.
+
+    do { i = i - 1; j = a[i]; j &= 0x0fffffff; t += j; } while (i > 0);
+    d = (double) t;
+    """
+    program = Program("fig7")
+    program.add_global("mem", ScalarType.I32, iterations)
+    b = build_function(program, "main", [], ScalarType.F64)
+    n = b.const(iterations + 1)
+    one = b.const(1)
+    zero = b.const(0)
+    arr = b.newarray(ScalarType.I32, n)
+    k = b.func.named_reg("k", ScalarType.I32)
+    b.mov(zero, k)
+    fill = b.block("fill")
+    loop_entry = b.block("loop_entry")
+    body = b.block("body")
+    exit_block = b.block("exit")
+    b.jmp(fill)
+    b.switch(fill)
+    three = b.const(3)
+    value = b.binop(Opcode.MUL32, k, three)
+    b.astore(arr, k, value, ScalarType.I32)
+    b.binop(Opcode.ADD32, k, one, k)
+    in_range = b.cmp(Opcode.CMP32, Cond.LT, k, n)
+    b.br(in_range, fill, loop_entry)
+    b.switch(loop_entry)
+    i = b.func.named_reg("i", ScalarType.I32)
+    t = b.func.named_reg("t", ScalarType.I32)
+    j = b.func.named_reg("j", ScalarType.I32)
+    b.gload("mem", ScalarType.I32, i)
+    b.mov(zero, t)
+    mask = b.const(0x0FFFFFFF)
+    b.jmp(body)
+    b.switch(body)
+    b.binop(Opcode.SUB32, i, one, i)
+    b.aload(arr, i, ScalarType.I32, j)
+    b.binop(Opcode.AND32, j, mask, j)
+    b.binop(Opcode.ADD32, t, j, t)
+    continue_loop = b.cmp(Opcode.CMP32, Cond.GT, i, zero)
+    b.br(continue_loop, body, exit_block)
+    b.switch(exit_block)
+    d = b.unop(Opcode.I2D, t)
+    b.sink(d)
+    b.ret(d)
+    verify_program(program)
+    return program
+
+
+@pytest.fixture
+def fig7_program() -> Program:
+    return make_fig7_program()

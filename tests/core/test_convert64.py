@@ -1,0 +1,113 @@
+"""Tests for Figure 5 step 1: conversion for a 64-bit architecture."""
+
+from repro.core import convert_function
+from repro.core.config import Placement
+from repro.ir import Instr, Opcode, Program, ScalarType, build_function
+from repro.ir.clone import clone_program
+from repro.machine import IA64, PPC64
+from tests.conftest import make_fig7_program, run_ideal, run_machine
+
+
+def _count(func, opcode):
+    return sum(1 for _, i in func.instructions() if i.opcode is opcode)
+
+
+class TestGenDef:
+    def test_extend_after_every_nonguaranteed_def(self):
+        program = Program()
+        b = build_function(program, "main",
+                           [("x", ScalarType.I32), ("y", ScalarType.I32)],
+                           ScalarType.I32)
+        result = b.binop(Opcode.ADD32, *b.func.params)
+        b.ret(result)
+        convert_function(program.main, IA64)
+        instrs = [i for _, i in program.main.instructions()]
+        add_at = next(k for k, i in enumerate(instrs)
+                      if i.opcode is Opcode.ADD32)
+        assert instrs[add_at + 1].opcode is Opcode.EXTEND32
+        assert instrs[add_at + 1].dest.name == instrs[add_at].dest.name
+
+    def test_no_extend_after_guaranteed_defs(self):
+        program = Program()
+        b = build_function(program, "main", [("x", ScalarType.I32)], None)
+        b.const(5)  # canonical constant
+        from repro.ir import Cond
+
+        b.cmp(Opcode.CMP32, Cond.LT, b.func.params[0], b.func.params[0])
+        b.ret()
+        convert_function(program.main, IA64)
+        assert _count(program.main, Opcode.EXTEND32) == 0
+
+    def test_no_extend_after_copies(self):
+        # Gen-def invariant: copies of canonical values stay canonical.
+        program = Program()
+        b = build_function(program, "main", [("x", ScalarType.I32)], None)
+        b.mov(b.func.params[0])
+        b.ret()
+        convert_function(program.main, IA64)
+        assert _count(program.main, Opcode.EXTEND32) == 0
+
+    def test_byte_load_gets_extend8_on_ia64(self):
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        n = b.const(4)
+        arr = b.newarray(ScalarType.I8, n)
+        zero = b.const(0)
+        value = b.aload(arr, zero, ScalarType.I8)
+        b.ret(value)
+        convert_function(program.main, IA64)
+        assert _count(program.main, Opcode.EXTEND8) == 1
+
+    def test_i32_load_needs_no_extend_on_ppc64(self):
+        program = make_fig7_program(5)
+        ia64 = clone_program(program)
+        ppc = clone_program(program)
+        convert_function(ia64.main, IA64)
+        convert_function(ppc.main, PPC64)
+        # IA64 zero-extends int loads; PPC64's lwa sign-extends, so the
+        # PPC64 conversion emits strictly fewer extensions.
+        assert _count(ppc.main, Opcode.EXTEND32) < _count(
+            ia64.main, Opcode.EXTEND32
+        )
+
+    def test_converted_code_preserves_behaviour(self):
+        program = make_fig7_program(20)
+        gold = run_ideal(program)
+        converted = clone_program(program)
+        for func in converted.functions.values():
+            convert_function(func, IA64)
+        run = run_machine(converted)
+        assert run.observable() == gold.observable()
+
+
+class TestGenUse:
+    def test_extends_placed_before_requiring_uses(self):
+        program = Program()
+        b = build_function(program, "main", [("x", ScalarType.I32)],
+                           ScalarType.F64)
+        total = b.binop(Opcode.ADD32, b.func.params[0], b.func.params[0])
+        d = b.unop(Opcode.I2D, total)
+        b.ret(d)
+        convert_function(program.main, IA64, Placement.GEN_USE)
+        instrs = [i for _, i in program.main.instructions()]
+        i2d_at = next(k for k, i in enumerate(instrs)
+                      if i.opcode is Opcode.I2D)
+        assert instrs[i2d_at - 1].opcode is Opcode.EXTEND32
+
+    def test_gen_use_preserves_behaviour(self):
+        program = make_fig7_program(20)
+        gold = run_ideal(program)
+        converted = clone_program(program)
+        for func in converted.functions.values():
+            convert_function(func, IA64, Placement.GEN_USE)
+        run = run_machine(converted)
+        assert run.observable() == gold.observable()
+
+    def test_gen_use_skips_canonical_defs(self):
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.F64)
+        c = b.const(42)
+        d = b.unop(Opcode.I2D, c)
+        b.ret(d)
+        convert_function(program.main, IA64, Placement.GEN_USE)
+        assert _count(program.main, Opcode.EXTEND32) == 0

@@ -1,0 +1,87 @@
+"""Consistency of the variant registry (the rows of Tables 1/2)."""
+
+import dataclasses
+
+from repro.core import REFERENCE_VARIANTS, VARIANTS
+from repro.core.config import Algorithm, Placement, SignExtConfig
+from repro.harness.tables import ROW_ORDER
+from repro.ir.types import JAVA_MAX_ARRAY_LENGTH
+
+
+class TestRegistry:
+    def test_twelve_rows_in_paper_order(self):
+        assert list(VARIANTS) == [
+            "baseline",
+            "gen use",
+            "first algorithm (bwd flow)",
+            "basic ud/du",
+            "insert",
+            "order",
+            "insert, order",
+            "array",
+            "array, insert",
+            "array, order",
+            "all, using PDE",
+            "new algorithm (all)",
+        ]
+        assert ROW_ORDER == list(VARIANTS)
+
+    def test_reference_rows(self):
+        assert REFERENCE_VARIANTS == {"gen use", "all, using PDE"}
+
+    def test_flags_match_names(self):
+        v = VARIANTS
+        assert v["baseline"].algorithm is Algorithm.NONE
+        assert v["gen use"].placement is Placement.GEN_USE
+        assert v["gen use"].algorithm is Algorithm.NONE
+        assert v["first algorithm (bwd flow)"].algorithm is Algorithm.BWD_FLOW
+        for name in ("basic ud/du", "insert", "order", "insert, order",
+                     "array", "array, insert", "array, order",
+                     "all, using PDE", "new algorithm (all)"):
+            assert v[name].algorithm is Algorithm.UD_DU, name
+        assert not v["basic ud/du"].insert
+        assert not v["basic ud/du"].order
+        assert not v["basic ud/du"].array
+        assert v["insert"].insert and not v["insert"].order
+        assert v["order"].order and not v["order"].insert
+        assert v["insert, order"].insert and v["insert, order"].order
+        assert v["array"].array
+        assert v["array, insert"].array and v["array, insert"].insert
+        assert v["array, order"].array and v["array, order"].order
+        full = v["new algorithm (all)"]
+        assert full.insert and full.order and full.array
+        assert not full.insert_pde
+        pde = v["all, using PDE"]
+        assert pde.insert and pde.order and pde.array and pde.insert_pde
+
+    def test_all_variants_use_gen_def_except_reference(self):
+        for name, config in VARIANTS.items():
+            expected = (Placement.GEN_USE if name == "gen use"
+                        else Placement.GEN_DEF)
+            assert config.placement is expected, name
+
+    def test_defaults(self):
+        config = SignExtConfig()
+        assert config.max_array_length == JAVA_MAX_ARRAY_LENGTH
+        assert config.theorems == frozenset({1, 2, 3, 4})
+        assert config.general_opts
+        assert config.use_profile
+        assert config.traits.name == "ia64"
+
+    def test_with_traits_is_pure(self):
+        from repro.machine import PPC64
+
+        base = VARIANTS["new algorithm (all)"]
+        changed = base.with_traits(PPC64)
+        assert changed.traits.name == "ppc64"
+        assert base.traits.name == "ia64"  # frozen original untouched
+        assert changed.insert == base.insert
+
+    def test_configs_are_hashable_and_frozen(self):
+        config = VARIANTS["baseline"]
+        with_change = dataclasses.replace(config, order=True)
+        assert with_change != config
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.order = True  # type: ignore[misc]

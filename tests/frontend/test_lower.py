@@ -1,0 +1,263 @@
+"""Tests for AST -> IR lowering, executed in ideal mode.
+
+These are end-to-end language-semantics tests: each program's result is
+compared against the Java-semantics expectation.
+"""
+
+import pytest
+
+from repro.frontend import TypeError_, compile_source
+from repro.ir import sign_extend
+from tests.conftest import run_ideal
+
+
+def _ret(source, args=()):
+    program = compile_source(source)
+    result = run_ideal(program, args=args)
+    if isinstance(result.ret_value, float):
+        return result.ret_value
+    if result.ret_value is None:
+        return None
+    return sign_extend(result.ret_value, 64)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert _ret("int main() { return 2 + 3 * 4 - 1; }") == 13
+
+    def test_int_overflow_wraps(self):
+        assert _ret("int main() { return 2147483647 + 1; }") == -2147483648
+
+    def test_division_truncates(self):
+        assert _ret("int main() { return -7 / 2; }") == -3
+        assert _ret("int main() { return -7 % 2; }") == -1
+
+    def test_shifts(self):
+        assert _ret("int main() { return -16 >> 2; }") == -4
+        assert _ret("int main() { return -16 >>> 28; }") == 15
+        assert _ret("int main() { return 3 << 30; }") == -1073741824
+
+    def test_bitwise(self):
+        assert _ret("int main() { return (0xF0 | 0x0F) ^ 0xFF; }") == 0
+        assert _ret("int main() { return ~5; }") == -6
+
+    def test_ternary(self):
+        assert _ret("int main() { return 1 < 2 ? 10 : 20; }") == 10
+
+    def test_short_circuit_and(self):
+        # The second operand (a division by zero) must not evaluate.
+        source = """
+        int main() {
+            int zero = 0;
+            if (zero != 0 && 10 / zero > 0) { return 1; }
+            return 2;
+        }
+        """
+        assert _ret(source) == 2
+
+    def test_short_circuit_or(self):
+        source = """
+        int main() {
+            int zero = 0;
+            if (zero == 0 || 10 / zero > 0) { return 1; }
+            return 2;
+        }
+        """
+        assert _ret(source) == 1
+
+    def test_boolean_value_context(self):
+        assert _ret("int main() { boolean b = 3 > 2 && 1 < 2; "
+                    "return b ? 1 : 0; }") == 1
+
+
+class TestTypesAndCasts:
+    def test_byte_cast(self):
+        assert _ret("int main() { return (byte) 200; }") == -56
+
+    def test_short_cast(self):
+        assert _ret("int main() { return (short) 0x12345; }") == 0x2345
+
+    def test_char_cast(self):
+        assert _ret("int main() { return (char) -1; }") == 0xFFFF
+
+    def test_long_arithmetic(self):
+        assert _ret("int main() { long x = 4000000000L; "
+                    "return (int)(x / 1000000L); }") == 4000
+
+    def test_int_to_long_widening(self):
+        assert _ret("int main() { long x = -5; "
+                    "return (int)(x * 3L); }") == -15
+
+    def test_double_conversion(self):
+        assert _ret("double main() { return (double) 7 / 2; }") == 3.5
+
+    def test_double_to_int_truncates(self):
+        assert _ret("int main() { return (int) 3.99; }") == 3
+        assert _ret("int main() { return (int) -3.99; }") == -3
+
+    def test_compound_assignment_narrows(self):
+        # Java: b += 200 is b = (byte)(b + 200).
+        assert _ret("int main() { byte b = (byte) 100; b += 200; "
+                    "return b; }") == 44
+
+    def test_char_arithmetic_promotes(self):
+        assert _ret("int main() { char c = 'A'; return c + 1; }") == 66
+
+    def test_implicit_narrowing_rejected(self):
+        with pytest.raises(TypeError_, match="explicit cast"):
+            compile_source("int main() { byte b = 1000; return b; }")
+
+    def test_boolean_arithmetic_rejected(self):
+        with pytest.raises(TypeError_):
+            compile_source("int main() { return true + 1; }")
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(TypeError_, match="boolean"):
+            compile_source("int main() { if (1) { return 1; } return 0; }")
+
+
+class TestStatements:
+    def test_while_loop(self):
+        assert _ret("int main() { int s = 0; int i = 0; "
+                    "while (i < 5) { s += i; i++; } return s; }") == 10
+
+    def test_do_while_runs_once(self):
+        assert _ret("int main() { int i = 100; int n = 0; "
+                    "do { n++; } while (i < 10); return n; }") == 1
+
+    def test_for_with_break_continue(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert _ret(source) == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_scopes_shadowing(self):
+        source = """
+        int main() {
+            int x = 1;
+            { int y = 10; x += y; }
+            { int y = 20; x += y; }
+            return x;
+        }
+        """
+        assert _ret(source) == 31
+
+    def test_uninitialized_local_is_zero(self):
+        assert _ret("int main() { int x; return x; }") == 0
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(TypeError_, match="duplicate"):
+            compile_source("int main() { int x = 1; int x = 2; return x; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(TypeError_, match="break"):
+            compile_source("void main() { break; }")
+
+
+class TestArraysAndGlobals:
+    def test_array_roundtrip(self):
+        source = """
+        int main() {
+            int[] a = new int[10];
+            for (int i = 0; i < 10; i++) { a[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 10; i++) { s += a[i]; }
+            return s;
+        }
+        """
+        assert _ret(source) == sum(i * i for i in range(10))
+
+    def test_byte_array_sign_behaviour(self):
+        source = """
+        int main() {
+            byte[] b = new byte[1];
+            b[0] = (byte) 200;
+            return b[0];
+        }
+        """
+        assert _ret(source) == -56  # byte loads sign-extend in Java
+
+    def test_char_array_zero_extends(self):
+        source = """
+        int main() {
+            char[] c = new char[1];
+            c[0] = (char) 0xFFFF;
+            return c[0];
+        }
+        """
+        assert _ret(source) == 0xFFFF
+
+    def test_2d_array(self):
+        source = """
+        int main() {
+            int[][] m = new int[3][4];
+            for (int i = 0; i < 3; i++)
+                for (int j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        }
+        """
+        assert _ret(source) == 23
+
+    def test_array_length(self):
+        assert _ret("int main() { long[] a = new long[17]; "
+                    "return a.length; }") == 17
+
+    def test_global_state(self):
+        source = """
+        int counter = 100;
+        void bump() { counter = counter + 1; }
+        int main() { bump(); bump(); return counter; }
+        """
+        assert _ret(source) == 102
+
+    def test_global_initializer(self):
+        assert _ret("int g = -42; int main() { return g; }") == -42
+
+    def test_narrow_global(self):
+        source = """
+        byte small = 0;
+        int main() { small = (byte) 300; return small; }
+        """
+        assert _ret(source) == 44  # 300 & 0xFF = 44, positive as byte
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """
+        assert _ret(source) == 55
+
+    def test_argument_widening(self):
+        source = """
+        double half(double x) { return x / 2.0; }
+        double main() { return half(9); }
+        """
+        assert _ret(source) == 4.5
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(TypeError_, match="undefined function"):
+            compile_source("void main() { nope(); }")
+
+    def test_arity_checked(self):
+        with pytest.raises(TypeError_, match="expects"):
+            compile_source("int f(int a) { return a; } "
+                           "void main() { f(1, 2); }")
+
+    def test_math_intrinsics(self):
+        assert _ret("double main() { return Math.sqrt(16.0); }") == 4.0
+        assert _ret("double main() { return Math.pow(2.0, 8.0); }") == 256.0
+        assert abs(_ret("double main() { return Math.abs(-2.5); }") - 2.5) < 1e-12

@@ -1,0 +1,150 @@
+"""Corner-case language semantics, checked against Java's rules."""
+
+import pytest
+
+from repro.frontend import TypeError_, compile_source
+from repro.ir import sign_extend
+from tests.conftest import run_ideal
+
+
+def _ret(source, args=()):
+    result = run_ideal(compile_source(source), args=args)
+    if isinstance(result.ret_value, float) or result.ret_value is None:
+        return result.ret_value
+    return sign_extend(result.ret_value, 64)
+
+
+class TestIntegerCorners:
+    def test_int_min_division_overflow(self):
+        # Java: Integer.MIN_VALUE / -1 == Integer.MIN_VALUE.
+        assert _ret("int main() { int a = -2147483648; int b = -1; "
+                    "return a / b; }") == -2147483648
+
+    def test_int_min_negation(self):
+        assert _ret("int main() { int a = -2147483648; return -a; }") \
+            == -2147483648
+
+    def test_int_min_remainder(self):
+        assert _ret("int main() { int a = -2147483648; int b = -1; "
+                    "return a % b; }") == 0
+
+    def test_multiplication_overflow_wraps(self):
+        assert _ret("int main() { return 100000 * 100000; }") \
+            == sign_extend(100000 * 100000, 32)
+
+    def test_hex_min_literal(self):
+        assert _ret("int main() { return 0x80000000; }") == -2147483648
+
+    def test_shift_by_32_is_identity(self):
+        assert _ret("int main() { return 5 << 32; }") == 5
+        assert _ret("int main() { return -5 >> 32; }") == -5
+
+    def test_long_shift_by_64(self):
+        assert _ret("int main() { long v = 5L; return (int)(v << 64); }") == 5
+
+    def test_unsigned_shift_of_negative(self):
+        assert _ret("int main() { return -1 >>> 1; }") == 0x7FFFFFFF
+
+
+class TestNarrowTypeCorners:
+    def test_byte_plus_byte_is_int(self):
+        # (byte)120 + (byte)120 does not wrap at 8 bits.
+        assert _ret("int main() { byte a = (byte)120; byte b = (byte)120; "
+                    "return a + b; }") == 240
+
+    def test_char_minus_char(self):
+        assert _ret("int main() { char a = 'z'; char b = 'a'; "
+                    "return a - b; }") == 25
+
+    def test_short_wraps_at_cast(self):
+        assert _ret("int main() { return (short)(32767 + 1); }") == -32768
+
+    def test_char_compound_assignment(self):
+        # c += 2 narrows back to char implicitly.
+        assert _ret("int main() { char c = (char)65535; c += 2; "
+                    "return c; }") == 1
+
+    def test_byte_array_element_negative(self):
+        assert _ret("""
+            int main() {
+                byte[] b = new byte[2];
+                b[0] = (byte)0xFF;
+                b[1] = (byte)0x7F;
+                return b[0] * 1000 + b[1];
+            }
+        """) == -1000 + 127
+
+
+class TestDoubleCorners:
+    def test_division_produces_double(self):
+        assert _ret("double main() { return 1.0 / 4.0; }") == 0.25
+
+    def test_int_div_before_widening(self):
+        # 7 / 2 happens in int, THEN widens.
+        assert _ret("double main() { double d = 7 / 2; return d; }") == 3.0
+
+    def test_fmod_semantics(self):
+        assert _ret("double main() { return 7.5 % 2.0; }") == 1.5
+
+    def test_long_to_double_precision(self):
+        assert _ret("double main() { long v = 123456789L; "
+                    "return (double) v; }") == 123456789.0
+
+    def test_double_literal_suffix(self):
+        assert _ret("double main() { return 2d + 1.5e1; }") == 17.0
+
+
+class TestControlCorners:
+    def test_empty_for_body(self):
+        assert _ret("int main() { int i; "
+                    "for (i = 0; i < 5; i++) { } return i; }") == 5
+
+    def test_nested_break_only_inner(self):
+        source = """
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 100; j++) {
+                    if (j == 2) { break; }
+                    n++;
+                }
+            }
+            return n;
+        }
+        """
+        assert _ret(source) == 6
+
+    def test_continue_in_while(self):
+        source = """
+        int main() {
+            int i = 0;
+            int n = 0;
+            while (i < 10) {
+                i++;
+                if (i % 2 == 0) { continue; }
+                n += i;
+            }
+            return n;
+        }
+        """
+        assert _ret(source) == 25
+
+    def test_ternary_nested(self):
+        assert _ret("int main() { int x = 5; "
+                    "return x < 3 ? 1 : x < 7 ? 2 : 3; }") == 2
+
+    def test_dead_code_after_return(self):
+        assert _ret("int main() { return 1; int x = 2; return x; }") == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,message", [
+        ("int main() { return 1.5; }", "cast"),
+        ("void main() { int x = true; }", "convert"),
+        ("void main() { double d; int x = d; }", "cast"),
+        ("void main() { int[] a = new int[3]; long l = a; }", "convert"),
+        ("void main() { continue; }", "continue"),
+    ])
+    def test_type_errors(self, source, message):
+        with pytest.raises(TypeError_, match=message):
+            compile_source(source)

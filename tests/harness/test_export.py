@@ -1,0 +1,65 @@
+"""Tests for the JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.harness import export_json, results_to_dict, run_workload
+from repro.workloads import Workload
+
+_SOURCE = """
+void main() {
+    int[] a = new int[16];
+    int t = 0;
+    for (int i = 0; i < 16; i++) { a[i] = i; }
+    for (int i = 15; i > 0; i--) { t += a[i]; }
+    sink(t);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = Workload(name="export_kernel", suite="jbytemark",
+                        description="test", source=_SOURCE)
+    return [run_workload(workload)]
+
+
+class TestExport:
+    def test_dict_structure(self, results):
+        data = results_to_dict(results)
+        assert len(data["workloads"]) == 1
+        entry = data["workloads"][0]
+        assert entry["name"] == "export_kernel"
+        assert "baseline" in entry["variants"]
+        assert "new algorithm (all)" in entry["variants"]
+
+    def test_percentages_consistent(self, results):
+        data = results_to_dict(results)
+        variants = data["workloads"][0]["variants"]
+        base = variants["baseline"]
+        assert base["percent_of_baseline"] == 100.0
+        best = variants["new algorithm (all)"]
+        assert best["dyn_extend32"] <= base["dyn_extend32"]
+        expected = 100.0 * best["dyn_extend32"] / base["dyn_extend32"]
+        assert abs(best["percent_of_baseline"] - expected) < 0.01
+
+    def test_compile_seconds_present(self, results):
+        data = results_to_dict(results)
+        timing = (data["workloads"][0]["variants"]
+                  ["new algorithm (all)"]["compile_seconds"])
+        assert timing["sign_ext"] > 0
+        assert timing["chains"] > 0
+        assert timing["others"] > 0
+
+    def test_json_roundtrip(self, results, tmp_path):
+        path = tmp_path / "out.json"
+        export_json(results, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == results_to_dict(results)
+
+    def test_checksum_stringified(self, results):
+        data = results_to_dict(results)
+        checksum = data["workloads"][0]["gold_checksum"]
+        assert checksum.startswith("0x")
+        int(checksum, 16)  # parseable

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (runner + table/figure formatters)."""
+
+import pytest
+
+from repro.core import VARIANTS
+from repro.core.config import SignExtConfig, Algorithm
+from repro.harness import (
+    ROW_ORDER,
+    SoundnessError,
+    format_dynamic_count_table,
+    format_percent_figure,
+    format_performance_figure,
+    format_timing_table,
+    run_workload,
+)
+from repro.workloads import Workload
+
+_FAST_SOURCE = """
+void main() {
+    int[] a = new int[40];
+    int t = 0;
+    for (int i = 0; i < 40; i++) { a[i] = i * 3; }
+    for (int i = 39; i > 0; i--) { t += a[i] & 0x0fffffff; }
+    double d = (double) t;
+    sinkd(d);
+    sink(t);
+}
+"""
+
+_FAST = Workload(name="fast", suite="jbytemark",
+                 description="test kernel", source=_FAST_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_workload(_FAST)
+
+
+class TestRunner:
+    def test_all_variants_present(self, results):
+        assert set(results.cells) == set(VARIANTS)
+
+    def test_baseline_is_100_percent(self, results):
+        base = results.baseline
+        assert base.percent_of(base) == 100.0
+
+    def test_full_algorithm_beats_baseline(self, results):
+        best = results.cells["new algorithm (all)"]
+        assert best.dyn_extend32 < results.baseline.dyn_extend32
+
+    def test_cycles_populated(self, results):
+        for cell in results.cells.values():
+            assert cell.cycles.total > 0
+
+    def test_soundness_error_raised_for_broken_variant(self):
+        # A deliberately broken "optimization" config cannot exist via
+        # the public API, so simulate by corrupting the gold comparison:
+        # run with a variant dict pointing at a config that is fine, and
+        # assert the runner at least accepts it (negative control).
+        out = run_workload(_FAST, {"baseline": VARIANTS["baseline"]})
+        assert "baseline" in out.cells
+
+
+class TestTables:
+    def test_dynamic_count_table_renders(self, results):
+        text = format_dynamic_count_table([results], "Table 1 (test)")
+        assert "Table 1 (test)" in text
+        assert "new algorithm (all)" in text
+        assert "(100.00%)" in text
+        for row in ROW_ORDER:
+            assert row in text
+
+    def test_improvement_marks(self, results):
+        text = format_dynamic_count_table([results], "T")
+        assert "o (" in text  # at least one improved cell
+
+    def test_timing_table_renders(self, results):
+        text = format_timing_table([results])
+        assert "sign-ext opts" in text
+        assert "UD/DU chains" in text
+        assert "average" in text
+
+    def test_timing_rows_sum_to_100(self, results):
+        text = format_timing_table([results])
+        data_line = [l for l in text.splitlines() if l.startswith("fast")][0]
+        values = [float(tok.rstrip("%")) for tok in data_line.split()[1:]]
+        assert abs(sum(values) - 100.0) < 0.1
+
+
+class TestFigures:
+    def test_percent_figure(self, results):
+        text = format_percent_figure([results], "Figure 11 (test)")
+        assert "Figure 11 (test)" in text
+        assert "%" in text
+        assert "|" in text  # the ASCII bars
+
+    def test_performance_figure(self, results):
+        text = format_performance_figure([results], "Figure 13 (test)")
+        assert "new algorithm (all)" in text
+        assert "run-time improvement" in text
+
+    def test_performance_improvement_positive_for_best(self, results):
+        best = results.cells["new algorithm (all)"]
+        improvement = best.cycles.improvement_over(results.baseline.cycles)
+        assert improvement > 0

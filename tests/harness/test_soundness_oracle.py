@@ -1,0 +1,79 @@
+"""The harness oracle must actually fire on a miscompile.
+
+We sabotage the compiler (strip every extension unconditionally) and
+check that the runner rejects the result — proving the equivalence
+check would have caught an unsound elimination in the real pipeline.
+"""
+
+import pytest
+
+import repro.harness.runner as runner_module
+from repro.harness import SoundnessError, run_workload
+from repro.ir import Opcode
+from repro.workloads import Workload
+
+_SOURCE = """
+void main() {
+    // Overflowing arithmetic feeding an observable double conversion:
+    // stripping the canonicalizing extension changes the checksum.
+    int big = 2147483647;
+    int t = 0;
+    for (int i = 0; i < 5; i++) {
+        big = big + big;
+        double d = (double) big;
+        sinkd(d);
+        t ^= big;
+    }
+    sink(t);
+}
+"""
+
+
+def test_oracle_rejects_stripped_extensions(monkeypatch):
+    workload = Workload(name="sabotage", suite="jbytemark",
+                        description="oracle test", source=_SOURCE)
+
+    real_compile = runner_module.compile_program
+
+    def sabotaged(source, config, profiles=None, **kwargs):
+        result = real_compile(source, config, profiles, **kwargs)
+        for func in result.program.functions.values():
+            for block in func.blocks:
+                block.instrs = [
+                    instr for instr in block.instrs
+                    if not (instr.is_extend and instr.dest is not None
+                            and len(instr.srcs) == 1
+                            and instr.dest.name == instr.srcs[0].name)
+                ]
+        return result
+
+    monkeypatch.setattr(runner_module, "compile_program", sabotaged)
+    with pytest.raises(SoundnessError):
+        run_workload(workload)
+
+
+def test_oracle_accepts_honest_compiler():
+    workload = Workload(name="honest", suite="jbytemark",
+                        description="oracle test", source=_SOURCE)
+    results = run_workload(workload)
+    # The honest pipeline keeps the required extension: it runs 5 times
+    # under every variant (it protects an observable conversion).
+    for name, cell in results.cells.items():
+        assert cell.dyn_extend32 >= 5, name
+
+
+def test_dynamic_counts_differ_between_variants():
+    source = """
+    void main() {
+        int[] a = new int[64];
+        int t = 0;
+        for (int i = 0; i < 64; i++) { a[i] = i; }
+        for (int i = 63; i > 0; i--) { t += a[i]; }
+        sink(t);
+    }
+    """
+    workload = Workload(name="spread", suite="jbytemark",
+                        description="oracle test", source=source)
+    results = run_workload(workload)
+    counts = {c.dyn_extend32 for c in results.cells.values()}
+    assert len(counts) >= 3  # the variants genuinely differ

@@ -1,0 +1,100 @@
+"""Call-boundary semantics: arity, void misuse, recursion depth."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import Interpreter, Trap
+from repro.ir import Instr, Opcode, Program, ScalarType, build_function
+
+
+class TestCallChecks:
+    def test_arity_mismatch_traps(self):
+        program = Program()
+        callee = build_function(program, "f", [("x", ScalarType.I32)],
+                                ScalarType.I32)
+        callee.ret(callee.func.params[0])
+        interp = Interpreter(program)
+        with pytest.raises(Trap, match="arity"):
+            interp.run("f", args=())
+
+    def test_void_result_assigned_traps(self):
+        program = Program()
+        callee = build_function(program, "f", [], None)
+        callee.ret()
+        b = build_function(program, "main", [], ScalarType.I32)
+        dest = b.func.new_reg(ScalarType.I32)
+        b.emit(Instr(Opcode.CALL, dest, (), callee="f"))
+        b.ret(dest)
+        with pytest.raises(Trap, match="void"):
+            Interpreter(program).run()
+
+    def test_arguments_passed_by_value(self):
+        program = compile_source("""
+            void mutate(int x) { x = 999; }
+            int main() { int v = 5; mutate(v); return v; }
+        """)
+        assert Interpreter(program, mode="ideal").run().ret_value == 5
+
+    def test_arrays_passed_by_reference(self):
+        program = compile_source("""
+            void fill(int[] a) { a[0] = 42; }
+            int main() { int[] a = new int[1]; fill(a); return a[0]; }
+        """)
+        assert Interpreter(program, mode="ideal").run().ret_value == 42
+
+    def test_moderate_recursion_depth(self):
+        program = compile_source("""
+            int depth(int n) {
+                if (n == 0) { return 0; }
+                return 1 + depth(n - 1);
+            }
+            int main() { return depth(200); }
+        """)
+        assert Interpreter(program, mode="ideal").run().ret_value == 200
+
+    def test_mutual_recursion(self):
+        program = compile_source("""
+            int isEven(int n) {
+                if (n == 0) { return 1; }
+                return isOdd(n - 1);
+            }
+            int isOdd(int n) {
+                if (n == 0) { return 0; }
+                return isEven(n - 1);
+            }
+            int main() { return isEven(10) * 10 + isOdd(7); }
+        """)
+        assert Interpreter(program, mode="ideal").run().ret_value == 11
+
+    def test_non_main_entry_point(self):
+        program = compile_source("""
+            int triple(int x) { return x * 3; }
+            void main() { }
+        """)
+        result = Interpreter(program, mode="ideal").run("triple", (14,))
+        assert result.ret_value == 42
+
+
+class TestAbiCanonicality:
+    def test_machine_mode_args_flow_raw(self):
+        """Machine mode copies raw 64-bit registers at calls; the
+        callee's converted body relies on the ABI having canonicalized
+        them — which the caller-side extension (kept by elimination
+        because CALL args REQUIRE canonical values) guarantees."""
+        from repro.core import VARIANTS, compile_program
+
+        program = compile_source("""
+            double toD(int x) { return (double) x; }
+            double main() {
+                int big = 2147483647;
+                big = big + big;   // overflows: needs canonicalization
+                double d = toD(big);
+                sinkd(d);
+                return d;
+            }
+        """)
+        gold = Interpreter(program, mode="ideal").run()
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        run = Interpreter(compiled.program).run()
+        assert run.observable() == gold.observable()
+        assert run.ret_value == -2.0

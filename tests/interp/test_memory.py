@@ -1,0 +1,110 @@
+"""Unit tests for the simulated heap."""
+
+import pytest
+
+from repro.interp.memory import (
+    ArrayObject,
+    Heap,
+    MAX_ALLOC_ELEMENTS,
+    MemoryFault,
+    Trap,
+)
+from repro.ir.types import ScalarType
+
+
+class TestAllocation:
+    def test_references_are_sequential_nonzero(self):
+        heap = Heap()
+        first = heap.allocate(ScalarType.I32, 4)
+        second = heap.allocate(ScalarType.F64, 2)
+        assert first == 1
+        assert second == 2
+
+    def test_zero_initialized(self):
+        heap = Heap()
+        ref = heap.allocate(ScalarType.I32, 3)
+        array = heap.deref(ref)
+        assert array.cells == [0, 0, 0]
+        fref = heap.allocate(ScalarType.F64, 2)
+        assert heap.deref(fref).cells == [0.0, 0.0]
+
+    def test_negative_size(self):
+        with pytest.raises(Trap, match="NegativeArraySize"):
+            Heap().allocate(ScalarType.I32, -1)
+
+    def test_oversized(self):
+        with pytest.raises(Trap, match="OutOfMemory"):
+            Heap().allocate(ScalarType.I8, MAX_ALLOC_ELEMENTS + 1)
+
+    def test_zero_length_allowed(self):
+        heap = Heap()
+        ref = heap.allocate(ScalarType.I32, 0)
+        assert heap.deref(ref).length == 0
+
+
+class TestDeref:
+    def test_null(self):
+        with pytest.raises(Trap, match="NullPointer"):
+            Heap().deref(0)
+
+    def test_dangling(self):
+        with pytest.raises(MemoryFault, match="dangling"):
+            Heap().deref(42)
+
+
+class TestCheckedIndex:
+    def _array(self, length=8):
+        heap = Heap()
+        ref = heap.allocate(ScalarType.I32, length)
+        return heap, heap.deref(ref)
+
+    def test_in_range(self):
+        heap, array = self._array()
+        assert heap.checked_index(array, 5) == 5
+
+    def test_unsigned_compare_catches_negative(self):
+        heap, array = self._array()
+        with pytest.raises(Trap, match="ArrayIndexOutOfBounds"):
+            heap.checked_index(array, 0xFFFF_FFFF_FFFF_FFFF)  # -1
+
+    def test_too_large(self):
+        heap, array = self._array()
+        with pytest.raises(Trap, match="ArrayIndexOutOfBounds"):
+            heap.checked_index(array, 8)
+
+    def test_wild_upper_bits_fault(self):
+        heap, array = self._array()
+        with pytest.raises(MemoryFault, match="effective address"):
+            heap.checked_index(array, (1 << 32) | 3)
+
+    def test_zero_length_rejects_everything(self):
+        heap = Heap()
+        array = heap.deref(heap.allocate(ScalarType.I32, 0))
+        with pytest.raises(Trap):
+            heap.checked_index(array, 0)
+
+
+class TestStoreWidths:
+    @pytest.mark.parametrize("elem,value,stored", [
+        (ScalarType.I8, 0x1FF, 0xFF),
+        (ScalarType.I16, 0x12345, 0x2345),
+        (ScalarType.U16, -1, 0xFFFF),
+        (ScalarType.I32, -1, 0xFFFF_FFFF),
+        (ScalarType.I64, -1, 0xFFFF_FFFF_FFFF_FFFF),
+    ])
+    def test_truncation(self, elem, value, stored):
+        heap = Heap()
+        array = heap.deref(heap.allocate(elem, 1))
+        heap.store(array, 0, value)
+        assert heap.load_raw(array, 0) == stored
+
+    def test_float_store(self):
+        heap = Heap()
+        array = heap.deref(heap.allocate(ScalarType.F64, 1))
+        heap.store(array, 0, 2.5)
+        assert heap.load_raw(array, 0) == 2.5
+
+    def test_array_object_repr_fields(self):
+        array = ArrayObject(ScalarType.I16, 4)
+        assert array.length == 4
+        assert array.elem is ScalarType.I16

@@ -1,0 +1,112 @@
+"""Tests for the builder, printer, and program cloning."""
+
+from repro.ir import (
+    Cond,
+    Opcode,
+    Program,
+    ScalarType,
+    build_function,
+    format_function,
+    format_program,
+    verify_program,
+)
+from repro.ir.clone import clone_program
+from tests.conftest import make_fig7_program, run_ideal, run_machine
+
+
+class TestBuilder:
+    def test_builds_verifiable_function(self):
+        program = Program()
+        b = build_function(program, "main", [("x", ScalarType.I32)],
+                           ScalarType.I32)
+        one = b.const(1)
+        result = b.binop(Opcode.ADD32, b.func.params[0], one)
+        b.ret(result)
+        verify_program(program)
+
+    def test_branch_wiring(self):
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        zero = b.const(0)
+        one = b.const(1)
+        then_block = b.block("then")
+        else_block = b.block("else")
+        cond = b.cmp(Opcode.CMP32, Cond.LT, zero, one)
+        b.br(cond, then_block, else_block)
+        b.switch(then_block)
+        b.ret(one)
+        b.switch(else_block)
+        b.ret(zero)
+        verify_program(program)
+        result = run_ideal(program)
+        assert result.ret_value == 1
+
+    def test_typed_destinations(self):
+        program = Program()
+        b = build_function(program, "main", [], None)
+        d = b.const(1.5, ScalarType.F64)
+        total = b.binop(Opcode.FADD, d, d)
+        assert total.type is ScalarType.F64
+        n = b.const(4)
+        arr = b.newarray(ScalarType.F64, n)
+        assert arr.type is ScalarType.REF
+        b.ret()
+        verify_program(program)
+
+
+class TestPrinter:
+    def test_format_contains_blocks_and_instrs(self):
+        program = make_fig7_program(iterations=3)
+        text = format_function(program.main)
+        assert "func @main" in text
+        assert "aload" in text
+        assert "body" in text
+
+    def test_format_program_lists_globals(self):
+        program = make_fig7_program(iterations=3)
+        text = format_program(program)
+        assert "global $mem" in text
+
+    def test_freq_annotation(self):
+        program = make_fig7_program(iterations=3)
+        text = format_function(program.main, freq=True)
+        assert "freq=" in text
+
+
+class TestClone:
+    def test_clone_preserves_behaviour(self):
+        program = make_fig7_program(iterations=10)
+        clone = clone_program(program)
+        original = run_ideal(program)
+        cloned = run_ideal(clone)
+        assert original.observable() == cloned.observable()
+
+    def test_clone_has_fresh_uids(self):
+        program = make_fig7_program(iterations=3)
+        clone = clone_program(program)
+        original_uids = {
+            i.uid for _, i in program.main.instructions()
+        }
+        cloned_uids = {i.uid for _, i in clone.main.instructions()}
+        assert original_uids.isdisjoint(cloned_uids)
+
+    def test_clone_is_isolated(self):
+        program = make_fig7_program(iterations=3)
+        clone = clone_program(program)
+        clone.main.blocks[0].instrs.pop(0)
+        assert len(program.main.blocks[0].instrs) != len(
+            clone.main.blocks[0].instrs
+        )
+
+    def test_machine_mode_runs_clone(self):
+        # Conversion mutates in place; cloning keeps the source intact.
+        from repro.core import VARIANTS, compile_program
+
+        program = make_fig7_program(iterations=10)
+        before = len(list(program.main.instructions()))
+        compile_program(program, VARIANTS["baseline"])
+        after = len(list(program.main.instructions()))
+        assert before == after  # the source was cloned, not mutated
+        result = run_machine(compile_program(
+            program, VARIANTS["baseline"]).program)
+        assert result.observable() == run_ideal(program).observable()

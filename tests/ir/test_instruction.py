@@ -1,0 +1,141 @@
+"""Unit tests for instructions, blocks, and functions."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Cond,
+    FuncSig,
+    Function,
+    Instr,
+    Opcode,
+    Program,
+    ScalarType,
+    VReg,
+)
+
+
+def _reg(name="r", type_=ScalarType.I32):
+    return VReg(name, type_)
+
+
+class TestInstr:
+    def test_uids_unique(self):
+        a = Instr(Opcode.NOP)
+        b = Instr(Opcode.NOP)
+        assert a.uid != b.uid
+
+    def test_copy_gets_fresh_uid(self):
+        a = Instr(Opcode.ADD32, _reg("x"), (_reg("y"), _reg("z")))
+        b = a.copy()
+        assert b.uid != a.uid
+        assert b.opcode is a.opcode
+        assert b.dest == a.dest
+        assert b.srcs == a.srcs
+
+    def test_is_extend(self):
+        assert Instr(Opcode.EXTEND32, _reg(), (_reg(),)).is_extend
+        assert Instr(Opcode.EXTEND8, _reg(), (_reg(),)).is_extend
+        assert not Instr(Opcode.ZEXT16, _reg(), (_reg(),)).is_extend
+        assert not Instr(Opcode.JUST_EXTENDED, _reg(), (_reg(),)).is_extend
+
+    def test_terminator_flags(self):
+        assert Instr(Opcode.JMP, targets=("x",)).is_terminator
+        assert Instr(Opcode.RET).is_terminator
+        assert not Instr(Opcode.ADD32, _reg(), (_reg(), _reg())).is_terminator
+
+    def test_str_rendering(self):
+        instr = Instr(Opcode.CMP32, _reg("p"), (_reg("a"), _reg("b")),
+                      cond=Cond.LT)
+        assert "cmp32.lt" in str(instr)
+        assert "%p" in str(instr)
+
+    def test_side_effects(self):
+        assert Instr(Opcode.ASTORE, None,
+                     (_reg("a", ScalarType.REF), _reg("i"), _reg("v")),
+                     elem=ScalarType.I32).has_side_effects
+        assert not Instr(Opcode.ADD32, _reg(), (_reg(), _reg())).has_side_effects
+
+
+class TestBlock:
+    def test_terminator_access(self):
+        block = Block("b")
+        block.append(Instr(Opcode.NOP))
+        with pytest.raises(ValueError):
+            _ = block.terminator
+        block.append(Instr(Opcode.RET))
+        assert block.terminator.opcode is Opcode.RET
+        assert len(block.body) == 1
+
+    def test_insert_before_after(self):
+        block = Block("b")
+        anchor = block.append(Instr(Opcode.NOP))
+        block.append(Instr(Opcode.RET))
+        first = Instr(Opcode.NOP, comment="first")
+        block.insert_before(anchor, first)
+        assert block.instrs[0] is first
+        after = Instr(Opcode.NOP, comment="after")
+        block.insert_after(anchor, after)
+        assert block.instrs[2] is after
+
+    def test_remove_by_identity(self):
+        block = Block("b")
+        a = block.append(Instr(Opcode.NOP))
+        b = block.append(Instr(Opcode.NOP))
+        block.remove(a)
+        assert block.instrs == [b]
+
+
+class TestFunction:
+    def test_fresh_registers_unique(self):
+        func = Function("f", FuncSig((), None))
+        names = {func.new_reg(ScalarType.I32).name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_cfg_built_from_targets(self):
+        func = Function("f", FuncSig((), None))
+        entry = func.new_block("entry")
+        target = func.new_block("next")
+        entry.append(Instr(Opcode.JMP, targets=(target.label,)))
+        target.append(Instr(Opcode.RET))
+        func.build_cfg()
+        assert entry.succs == [target]
+        assert target.preds == [entry]
+
+    def test_duplicate_block_label_rejected(self):
+        func = Function("f", FuncSig((), None))
+        func.add_block(Block("x"))
+        with pytest.raises(ValueError):
+            func.add_block(Block("x"))
+
+    def test_drop_unreachable(self):
+        func = Function("f", FuncSig((), None))
+        entry = func.new_block("entry")
+        entry.append(Instr(Opcode.RET))
+        dead = func.new_block("dead")
+        dead.append(Instr(Opcode.RET))
+        removed = func.drop_unreachable_blocks()
+        assert removed == 1
+        assert [b.label for b in func.blocks] == [entry.label]
+
+
+class TestProgram:
+    def test_duplicate_function_rejected(self):
+        program = Program()
+        func = Function("f", FuncSig((), None))
+        program.add_function(func)
+        with pytest.raises(ValueError):
+            program.add_function(Function("f", FuncSig((), None)))
+
+    def test_duplicate_global_rejected(self):
+        program = Program()
+        program.add_global("g", ScalarType.I32)
+        with pytest.raises(ValueError):
+            program.add_global("g", ScalarType.I32)
+
+    def test_main_lookup(self):
+        program = Program()
+        with pytest.raises(ValueError):
+            _ = program.main
+        program.add_function(Function("main", FuncSig((), None)))
+        assert program.main.name == "main"

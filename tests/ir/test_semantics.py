@@ -1,0 +1,209 @@
+"""Unit tests for the sign-extension semantic classification."""
+
+import pytest
+
+from repro.ir import Instr, Opcode, ScalarType, VReg
+from repro.ir.opcodes import Cond
+from repro.ir.semantics import (
+    UseKind,
+    canonical_bits,
+    classify_use,
+    propagates_canonical,
+    upper32_zero,
+    use_read_bits,
+)
+from repro.machine.model import IA64, PPC64
+
+
+def _r(name="r", t=ScalarType.I32):
+    return VReg(name, t)
+
+
+def _i32(value):
+    return Instr(Opcode.CONST, _r("c"), imm=value, elem=ScalarType.I32)
+
+
+class TestClassifyUse:
+    def test_i2d_requires(self):
+        instr = Instr(Opcode.I2D, _r("d", ScalarType.F64), (_r("x"),))
+        assert classify_use(instr, 0, IA64) is UseKind.REQUIRES
+
+    def test_div_requires(self):
+        instr = Instr(Opcode.DIV32, _r("q"), (_r("a"), _r("b")))
+        assert classify_use(instr, 0, IA64) is UseKind.REQUIRES
+        assert classify_use(instr, 1, IA64) is UseKind.REQUIRES
+
+    def test_add_propagates(self):
+        instr = Instr(Opcode.ADD32, _r("s"), (_r("a"), _r("b")))
+        assert classify_use(instr, 0, IA64) is UseKind.PROPAGATES
+
+    def test_cmp32_ignores_high(self):
+        instr = Instr(Opcode.CMP32, _r("p"), (_r("a"), _r("b")), cond=Cond.LT)
+        assert classify_use(instr, 0, IA64) is UseKind.IGNORES_HIGH
+
+    def test_store_value_ignores_high(self):
+        instr = Instr(Opcode.ASTORE, None,
+                      (_r("arr", ScalarType.REF), _r("i"), _r("v")),
+                      elem=ScalarType.I32)
+        assert classify_use(instr, 2, IA64) is UseKind.IGNORES_HIGH
+
+    def test_array_index_role(self):
+        instr = Instr(Opcode.ALOAD, _r("d"),
+                      (_r("arr", ScalarType.REF), _r("i")),
+                      elem=ScalarType.I32)
+        assert classify_use(instr, 1, IA64) is UseKind.ARRAY_INDEX
+
+    def test_array_ref_irrelevant(self):
+        instr = Instr(Opcode.ALOAD, _r("d"),
+                      (_r("arr", ScalarType.REF), _r("i")),
+                      elem=ScalarType.I32)
+        assert classify_use(instr, 0, IA64) is UseKind.IRRELEVANT
+
+    def test_shift_amount_ignored(self):
+        instr = Instr(Opcode.SHL32, _r("s"), (_r("a"), _r("n")))
+        assert classify_use(instr, 1, IA64) is UseKind.IGNORES_HIGH
+        assert classify_use(instr, 0, IA64) is UseKind.PROPAGATES
+
+    def test_call_args_follow_abi(self):
+        instr = Instr(Opcode.CALL, None, (_r("a"),), callee="f")
+        assert classify_use(instr, 0, IA64) is UseKind.REQUIRES
+
+    def test_extend_src_only_reads_low(self):
+        instr = Instr(Opcode.EXTEND32, _r("a"), (_r("a"),))
+        assert classify_use(instr, 0, IA64) is UseKind.IGNORES_HIGH
+
+    def test_wide_operand_irrelevant(self):
+        instr = Instr(Opcode.ADD64, _r("s", ScalarType.I64),
+                      (_r("a", ScalarType.I64), _r("b", ScalarType.I64)))
+        assert classify_use(instr, 0, IA64) is UseKind.IRRELEVANT
+
+
+class TestUseReadBits:
+    def test_narrow_store_reads_elem_width(self):
+        instr = Instr(Opcode.ASTORE, None,
+                      (_r("arr", ScalarType.REF), _r("i"), _r("v")),
+                      elem=ScalarType.I8)
+        assert use_read_bits(instr, 2) == 8
+
+    def test_extend8_reads_8(self):
+        instr = Instr(Opcode.EXTEND8, _r("a"), (_r("a"),))
+        assert use_read_bits(instr, 0) == 8
+
+    def test_cmp_reads_32(self):
+        instr = Instr(Opcode.CMP32, _r("p"), (_r("a"), _r("b")), cond=Cond.EQ)
+        assert use_read_bits(instr, 0) == 32
+
+
+class TestCanonicalBits:
+    def test_extends(self):
+        assert canonical_bits(
+            Instr(Opcode.EXTEND8, _r("a"), (_r("a"),)), IA64) == 8
+        assert canonical_bits(
+            Instr(Opcode.EXTEND32, _r("a"), (_r("a"),)), IA64) == 32
+
+    def test_compare_results_are_tiny(self):
+        instr = Instr(Opcode.CMP32, _r("p"), (_r("a"), _r("b")), cond=Cond.LT)
+        assert canonical_bits(instr, IA64) == 8
+
+    def test_const_fit_width(self):
+        assert canonical_bits(_i32(5), IA64) == 8
+        assert canonical_bits(_i32(-128), IA64) == 8
+        assert canonical_bits(_i32(300), IA64) == 16
+        assert canonical_bits(_i32(100000), IA64) == 32
+        assert canonical_bits(_i32(-(2**31)), IA64) == 32
+
+    def test_add_not_canonical(self):
+        instr = Instr(Opcode.ADD32, _r("s"), (_r("a"), _r("b")))
+        assert canonical_bits(instr, IA64) is None
+
+    def test_i32_load_depends_on_machine(self):
+        load = Instr(Opcode.ALOAD, _r("d"),
+                     (_r("arr", ScalarType.REF), _r("i")),
+                     elem=ScalarType.I32)
+        assert canonical_bits(load, IA64) is None  # zero-extended
+        assert canonical_bits(load, PPC64) == 32  # lwa sign-extends
+
+    def test_byte_load_zero_extended_is_canonical16(self):
+        load = Instr(Opcode.ALOAD, _r("d"),
+                     (_r("arr", ScalarType.REF), _r("i")),
+                     elem=ScalarType.I8)
+        # Zero-extended byte: value in [0, 255] subset of canonical-16.
+        assert canonical_bits(load, IA64) == 16
+
+    def test_i16_load_on_ppc_sign_extends(self):
+        load = Instr(Opcode.ALOAD, _r("d"),
+                     (_r("arr", ScalarType.REF), _r("i")),
+                     elem=ScalarType.I16)
+        assert canonical_bits(load, PPC64) == 16
+        assert canonical_bits(load, IA64) == 32
+
+    def test_and_with_positive_constant(self):
+        mask = _i32(0x0FFF_FFFF)
+        and_instr = Instr(Opcode.AND32, _r("j"), (_r("j"), _r("c")))
+
+        def const_of(instr, index):
+            return 0x0FFF_FFFF if index == 1 else None
+
+        assert canonical_bits(and_instr, IA64, const_of) == 32
+        assert canonical_bits(and_instr, IA64) is None
+        del mask
+
+    def test_and_with_small_constant_narrower(self):
+        and_instr = Instr(Opcode.AND32, _r("j"), (_r("j"), _r("c")))
+
+        def const_of(instr, index):
+            return 0x7F if index == 1 else None
+
+        assert canonical_bits(and_instr, IA64, const_of) == 8
+
+    def test_ushr_const_amount(self):
+        instr = Instr(Opcode.USHR32, _r("a"), (_r("a"), _r("n")))
+
+        def const_of(_instr, index):
+            return 3 if index == 1 else None
+
+        assert canonical_bits(instr, IA64, const_of) == 32
+        assert canonical_bits(instr, IA64) is None
+
+    def test_arraylen_canonical(self):
+        instr = Instr(Opcode.ARRAYLEN, _r("n"), (_r("arr", ScalarType.REF),))
+        assert canonical_bits(instr, IA64) == 32
+
+
+class TestUpperZero:
+    def test_zero_extending_load(self):
+        load = Instr(Opcode.ALOAD, _r("d"),
+                     (_r("arr", ScalarType.REF), _r("i")),
+                     elem=ScalarType.I32)
+        assert upper32_zero(load, IA64)
+        assert not upper32_zero(load, PPC64)  # lwa fills upper bits
+
+    def test_nonnegative_const(self):
+        assert upper32_zero(_i32(42), IA64)
+        assert not upper32_zero(_i32(-1), IA64)
+
+    def test_dummy_marker(self):
+        instr = Instr(Opcode.JUST_EXTENDED, _r("i"), (_r("i"),))
+        assert upper32_zero(instr, IA64)
+
+    def test_cmp_and_ushr(self):
+        cmp = Instr(Opcode.CMP32, _r("p"), (_r("a"), _r("b")), cond=Cond.EQ)
+        assert upper32_zero(cmp, IA64)
+        ushr = Instr(Opcode.USHR32, _r("a"), (_r("a"), _r("n")))
+        assert upper32_zero(ushr, IA64)
+
+
+class TestPropagation:
+    @pytest.mark.parametrize("opcode,expected", [
+        (Opcode.MOV, True),
+        (Opcode.AND32, True),
+        (Opcode.OR32, True),
+        (Opcode.XOR32, True),
+        (Opcode.NOT32, True),
+        (Opcode.ADD32, False),
+        (Opcode.SUB32, False),
+        (Opcode.MUL32, False),
+        (Opcode.SHL32, False),
+    ])
+    def test_propagates_canonical(self, opcode, expected):
+        assert propagates_canonical(opcode) is expected

@@ -1,0 +1,95 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.types import (
+    INT32_MAX,
+    INT32_MIN,
+    ScalarType,
+    as_signed64,
+    is_canonical32,
+    low32,
+    sign_extend,
+    wrap_u64,
+    zero_extend,
+)
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+        assert sign_extend(0x7FFF_FFFF, 32) == INT32_MAX
+
+    def test_negative_extends(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x80, 8) == -128
+        assert sign_extend(0xFFFF_FFFF, 32) == -1
+        assert sign_extend(0x8000_0000, 32) == INT32_MIN
+
+    def test_ignores_upper_bits(self):
+        assert sign_extend(0xDEAD_0000_0000_007F, 8) == 0x7F
+        assert sign_extend(0xDEAD_0000_8000_0000, 32) == INT32_MIN
+
+    def test_64_bit_identity_range(self):
+        assert sign_extend(2**63 - 1, 64) == 2**63 - 1
+        assert sign_extend(2**63, 64) == -(2**63)
+
+
+class TestZeroExtend:
+    def test_masks(self):
+        assert zero_extend(-1, 32) == 0xFFFF_FFFF
+        assert zero_extend(-1, 8) == 0xFF
+        assert zero_extend(0x1_0000_0001, 32) == 1
+
+
+class TestWrapU64:
+    def test_wraps_negative(self):
+        assert wrap_u64(-1) == 0xFFFF_FFFF_FFFF_FFFF
+
+    def test_wraps_overflow(self):
+        assert wrap_u64(2**64 + 5) == 5
+
+    def test_roundtrip_signed(self):
+        for value in (0, 1, -1, 2**62, -(2**62), INT32_MIN):
+            assert as_signed64(wrap_u64(value)) == value
+
+
+class TestCanonical:
+    def test_canonical_values(self):
+        assert is_canonical32(0)
+        assert is_canonical32(wrap_u64(-1))
+        assert is_canonical32(INT32_MAX)
+        assert is_canonical32(wrap_u64(INT32_MIN))
+
+    def test_non_canonical_values(self):
+        assert not is_canonical32(0xFFFF_FFFF)  # zero-extended -1
+        assert not is_canonical32(0x1_0000_0000)
+        assert not is_canonical32(0x8000_0000)
+
+    def test_low32(self):
+        assert low32(wrap_u64(-1)) == 0xFFFF_FFFF
+        assert low32(0x1234_5678_9ABC_DEF0) == 0x9ABC_DEF0
+
+
+class TestScalarType:
+    def test_narrow_classification(self):
+        assert ScalarType.I32.is_narrow_int
+        assert ScalarType.I8.is_narrow_int
+        assert ScalarType.U16.is_narrow_int
+        assert not ScalarType.I64.is_narrow_int
+        assert not ScalarType.F64.is_narrow_int
+        assert not ScalarType.REF.is_narrow_int
+
+    def test_bits(self):
+        assert ScalarType.I8.bits == 8
+        assert ScalarType.U16.bits == 16
+        assert ScalarType.I32.bits == 32
+        assert ScalarType.I64.bits == 64
+
+    def test_signedness(self):
+        assert ScalarType.I16.signed
+        assert not ScalarType.U16.signed
+
+    @pytest.mark.parametrize("t", list(ScalarType))
+    def test_every_type_has_bits(self, t):
+        assert t.bits in (8, 16, 32, 64)

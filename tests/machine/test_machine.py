@@ -1,0 +1,95 @@
+"""Tests for machine traits, cost model, and assembly-style lowering."""
+
+from repro.core import VARIANTS, compile_program
+from repro.frontend import compile_source
+from repro.machine import IA64, MACHINES, PPC64, LoadExt
+from repro.machine.costs import DEFAULT_COSTS, count_cycles
+from repro.machine.lower import lower_function
+from repro.ir import Opcode, ScalarType
+from tests.conftest import run_machine
+
+
+class TestTraits:
+    def test_registry(self):
+        assert MACHINES["ia64"] is IA64
+        assert MACHINES["ppc64"] is PPC64
+
+    def test_ia64_loads_zero_extend(self):
+        for elem in (ScalarType.I8, ScalarType.I16, ScalarType.I32):
+            assert IA64.load_extension(elem) is LoadExt.ZERO
+
+    def test_ppc64_lwa_lha(self):
+        assert PPC64.load_extension(ScalarType.I32) is LoadExt.SIGN
+        assert PPC64.load_extension(ScalarType.I16) is LoadExt.SIGN
+        assert PPC64.load_extension(ScalarType.I8) is LoadExt.ZERO
+        assert PPC64.load_extension(ScalarType.U16) is LoadExt.ZERO
+
+
+class TestCostModel:
+    def test_every_opcode_priced(self):
+        for opcode in Opcode:
+            assert opcode in DEFAULT_COSTS
+
+    def test_eliminating_extends_reduces_cycles(self):
+        source = """
+        void main() {
+            int[] a = new int[50];
+            int t = 0;
+            for (int i = 0; i < 50; i++) { a[i] = i; }
+            for (int i = 0; i < 50; i++) { t += a[i]; }
+            sink(t);
+        }
+        """
+        program = compile_source(source)
+        base = compile_program(program, VARIANTS["baseline"])
+        best = compile_program(program, VARIANTS["new algorithm (all)"])
+        base_run = run_machine(base.program)
+        best_run = run_machine(best.program)
+        base_cycles = count_cycles(base.program, base_run, IA64)
+        best_cycles = count_cycles(best.program, best_run, IA64)
+        assert best_cycles.total < base_cycles.total
+        assert best_cycles.extend_cycles < base_cycles.extend_cycles
+        # Figures 13/14 convention: improvement of the variant over the
+        # baseline is positive when the variant is faster.
+        assert best_cycles.improvement_over(base_cycles) > 0
+        assert base_cycles.improvement_over(best_cycles) < 0
+
+
+class TestLowering:
+    def _compiled(self, variant):
+        source = """
+        void main() {
+            int[] a = new int[8];
+            for (int i = 0; i < 8; i++) { a[i] = i; }
+            sink(a[3]);
+        }
+        """
+        program = compile_source(source)
+        return compile_program(program, VARIANTS[variant]).program.main
+
+    def test_ia64_array_shape(self):
+        """Figure 4(b): sxt4 + shladd for a baseline array access."""
+        code = lower_function(self._compiled("baseline"), IA64)
+        assert code.counts.get("shladd", 0) >= 1
+        assert code.counts.get("sxt4", 0) >= 1
+
+    def test_optimized_drops_sxt(self):
+        base = lower_function(self._compiled("baseline"), IA64)
+        best = lower_function(self._compiled("new algorithm (all)"), IA64)
+        assert best.counts.get("sxt4", 0) < base.counts.get("sxt4", 0)
+        # The address add is still there.
+        assert best.counts.get("shladd", 0) >= 1
+
+    def test_ppc64_uses_rldic_and_exts(self):
+        code = lower_function(self._compiled("baseline"), PPC64)
+        assert code.counts.get("rldic", 0) >= 1
+        text = code.text
+        assert "extsw" in text or "exts" in text
+
+    def test_ppc64_lwa_for_int_loads(self):
+        code = lower_function(self._compiled("baseline"), PPC64)
+        assert code.counts.get("lwa", 0) >= 1
+
+    def test_text_is_labelled(self):
+        code = lower_function(self._compiled("baseline"), IA64)
+        assert any(line.endswith(":") for line in code.lines)

@@ -1,0 +1,115 @@
+"""Tests for expression keys and the pass manager."""
+
+import time
+
+from repro.ir import Cond, Instr, Opcode, ScalarType, VReg
+from repro.opt import (
+    BUCKET_CHAINS,
+    BUCKET_OTHERS,
+    BUCKET_SIGN_EXT,
+    Pass,
+    PassManager,
+    Timing,
+    expr_key,
+    is_idempotent_self_extend,
+    kills_expr,
+)
+
+
+def _r(name, t=ScalarType.I32):
+    return VReg(name, t)
+
+
+class TestExprKey:
+    def test_commutative_normalization(self):
+        a = Instr(Opcode.ADD32, _r("d"), (_r("x"), _r("y")))
+        b = Instr(Opcode.ADD32, _r("e"), (_r("y"), _r("x")))
+        assert expr_key(a) == expr_key(b)
+
+    def test_non_commutative_kept_ordered(self):
+        a = Instr(Opcode.SUB32, _r("d"), (_r("x"), _r("y")))
+        b = Instr(Opcode.SUB32, _r("e"), (_r("y"), _r("x")))
+        assert expr_key(a) != expr_key(b)
+
+    def test_cond_distinguishes(self):
+        a = Instr(Opcode.CMP32, _r("p"), (_r("x"), _r("y")), cond=Cond.LT)
+        b = Instr(Opcode.CMP32, _r("q"), (_r("x"), _r("y")), cond=Cond.GT)
+        assert expr_key(a) != expr_key(b)
+
+    def test_impure_ops_excluded(self):
+        load = Instr(Opcode.ALOAD, _r("d"), (_r("a", ScalarType.REF), _r("i")),
+                     elem=ScalarType.I32)
+        assert expr_key(load) is None
+        div = Instr(Opcode.DIV32, _r("d"), (_r("x"), _r("y")))
+        assert expr_key(div) is None  # can trap
+
+    def test_self_extend_detection(self):
+        same = Instr(Opcode.EXTEND32, _r("x"), (_r("x"),))
+        different = Instr(Opcode.EXTEND32, _r("y"), (_r("x"),))
+        assert is_idempotent_self_extend(same)
+        assert not is_idempotent_self_extend(different)
+
+    def test_kills_expr(self):
+        add = Instr(Opcode.ADD32, _r("d"), (_r("x"), _r("y")))
+        key = expr_key(add)
+        killer = Instr(Opcode.MOV, _r("x"), (_r("z"),))
+        unrelated = Instr(Opcode.MOV, _r("w"), (_r("z"),))
+        assert kills_expr(killer, key)
+        assert not kills_expr(unrelated, key)
+        # The idempotent self-extend does not kill its own expression.
+        ext = Instr(Opcode.EXTEND32, _r("x"), (_r("x"),))
+        assert not kills_expr(ext, expr_key(ext))
+        # But it does kill other expressions reading x.
+        assert kills_expr(ext, key)
+
+
+class TestTiming:
+    def test_accumulates(self):
+        timing = Timing()
+        timing.add(BUCKET_SIGN_EXT, 0.25)
+        timing.add(BUCKET_SIGN_EXT, 0.25)
+        timing.add(BUCKET_CHAINS, 0.5)
+        assert timing.seconds[BUCKET_SIGN_EXT] == 0.5
+        assert timing.total == 1.0
+        assert timing.fraction(BUCKET_CHAINS) == 0.5
+
+    def test_merge(self):
+        a = Timing({BUCKET_OTHERS: 1.0})
+        b = Timing({BUCKET_OTHERS: 2.0, BUCKET_CHAINS: 1.0})
+        a.merge(b)
+        assert a.seconds[BUCKET_OTHERS] == 3.0
+        assert a.seconds[BUCKET_CHAINS] == 1.0
+
+    def test_empty_fraction(self):
+        assert Timing().fraction(BUCKET_OTHERS) == 0.0
+
+
+class TestPassManager:
+    def test_runs_passes_and_times_them(self):
+        calls = []
+
+        def slow_pass(func):
+            calls.append(func)
+            time.sleep(0.001)
+            return False
+
+        manager = PassManager([Pass("p", slow_pass, BUCKET_OTHERS)])
+        from tests.conftest import make_fig7_program
+
+        func = make_fig7_program(3).main
+        manager.run(func)
+        assert calls == [func]
+        assert manager.timing.seconds[BUCKET_OTHERS] > 0
+
+    def test_fixpoint_stops_when_stable(self):
+        countdown = [3]
+
+        def changing_pass(_func):
+            countdown[0] -= 1
+            return countdown[0] > 0
+
+        manager = PassManager([Pass("p", changing_pass)])
+        from tests.conftest import make_fig7_program
+
+        manager.run_to_fixpoint(make_fig7_program(3).main, max_rounds=10)
+        assert countdown[0] == 0

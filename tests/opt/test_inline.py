@@ -1,0 +1,151 @@
+"""Tests for function inlining."""
+
+from repro.frontend import compile_source
+from repro.ir import Opcode
+from repro.ir.clone import clone_program
+from repro.opt import inline_small_functions
+from tests.conftest import run_ideal
+
+
+def _call_count(program):
+    return sum(
+        1 for func in program.functions.values()
+        for _, instr in func.instructions()
+        if instr.opcode is Opcode.CALL
+    )
+
+
+class TestInlining:
+    def test_inlines_small_helper(self):
+        program = compile_source("""
+            int add3(int a, int b, int c) { return a + b + c; }
+            int main() { return add3(1, 2, 3) + add3(4, 5, 6); }
+        """)
+        gold = run_ideal(program).ret_value
+        changed = inline_small_functions(program)
+        assert changed
+        # All call sites in main gone.
+        assert not any(
+            i.opcode is Opcode.CALL
+            for _, i in program.main.instructions()
+        )
+        assert run_ideal(program).ret_value == gold
+
+    def test_void_helper(self):
+        program = compile_source("""
+            int counter = 0;
+            void bump() { counter = counter + 3; }
+            int main() { bump(); bump(); return counter; }
+        """)
+        inline_small_functions(program)
+        assert _call_count(program) == 0
+        assert run_ideal(program).ret_value == 6
+
+    def test_helper_with_control_flow(self):
+        program = compile_source("""
+            int sign(int x) {
+                if (x > 0) { return 1; }
+                if (x < 0) { return -1; }
+                return 0;
+            }
+            int main() {
+                return sign(5) * 100 + sign(-7) * 10 + sign(0);
+            }
+        """)
+        gold = run_ideal(program).ret_value
+        inline_small_functions(program)
+        assert run_ideal(program).ret_value == gold
+        assert not any(
+            i.opcode is Opcode.CALL
+            for _, i in program.main.instructions()
+        )
+
+    def test_recursive_not_inlined(self):
+        program = compile_source("""
+            int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main() { return fact(6); }
+        """)
+        inline_small_functions(program)
+        # The recursive call inside fact remains.
+        fact = program.function("fact")
+        assert any(i.opcode is Opcode.CALL for _, i in fact.instructions())
+        assert run_ideal(program).ret_value == 720
+
+    def test_large_callee_not_inlined(self):
+        big_body = "\n".join(f"    s += {i};" for i in range(100))
+        program = compile_source(f"""
+            int big(int s) {{
+{big_body}
+                return s;
+            }}
+            int main() {{ return big(0); }}
+        """)
+        inline_small_functions(program)
+        assert _call_count(program) == 1
+
+    def test_deterministic_labels(self):
+        source = """
+            int twice(int x) { return x + x; }
+            int main() { return twice(3) + twice(4); }
+        """
+        a = compile_source(source)
+        b = clone_program(a)
+        inline_small_functions(a)
+        inline_small_functions(b)
+        labels_a = [blk.label for blk in a.main.blocks]
+        labels_b = [blk.label for blk in b.main.blocks]
+        assert labels_a == labels_b
+
+    def test_inlined_loop_in_caller_loop(self):
+        program = compile_source("""
+            int weight(int v) { return (v & 15) * 3; }
+            int main() {
+                int t = 0;
+                for (int i = 0; i < 50; i++) { t += weight(i); }
+                return t;
+            }
+        """)
+        gold = run_ideal(program).ret_value
+        inline_small_functions(program)
+        assert run_ideal(program).ret_value == gold
+
+    def test_nested_helpers_inline_in_rounds(self):
+        program = compile_source("""
+            int inner(int x) { return x * 2; }
+            int outer(int x) { return inner(x) + 1; }
+            int main() { return outer(10); }
+        """)
+        inline_small_functions(program)
+        assert not any(
+            i.opcode is Opcode.CALL
+            for _, i in program.main.instructions()
+        )
+        assert run_ideal(program).ret_value == 21
+
+    def test_enables_array_theorem_through_call(self):
+        """The motivation: a helper's parameter index becomes provable
+        after inlining."""
+        from repro.core import VARIANTS, compile_program
+        from repro.interp import Interpreter
+
+        program = compile_source("""
+            int pick(int[] a, int k) { return a[k & 31]; }
+            int main() {
+                int[] a = new int[32];
+                int t = 0;
+                for (int i = 0; i < 32; i++) { a[i] = i; }
+                for (int i = 0; i < 200; i++) { t += pick(a, i * 7); }
+                sink(t);
+                return t;
+            }
+        """)
+        gold = run_ideal(program)
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        run = Interpreter(compiled.program).run()
+        assert run.observable() == gold.observable()
+        # Without inlining the call boundary would demand canonical
+        # arguments every iteration; with it, almost nothing remains.
+        assert run.extends32 <= 5

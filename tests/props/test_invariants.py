@@ -1,0 +1,133 @@
+"""Property-based tests of core data-structure invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import bit_indices
+from repro.analysis.value_range import Interval, TOP, _clamped
+from repro.ir.types import (
+    INT32_MAX,
+    INT32_MIN,
+    is_canonical32,
+    low32,
+    sign_extend,
+    wrap_u64,
+    zero_extend,
+)
+
+u64s = st.integers(min_value=0, max_value=2**64 - 1)
+i32s = st.integers(min_value=INT32_MIN, max_value=INT32_MAX)
+widths = st.sampled_from([8, 16, 32])
+
+
+class TestBitArithmetic:
+    @given(value=u64s, bits=widths)
+    def test_sign_extend_idempotent(self, value, bits):
+        once = sign_extend(value, bits)
+        assert sign_extend(once, bits) == once
+
+    @given(value=u64s, bits=widths)
+    def test_sign_extend_preserves_low_bits(self, value, bits):
+        extended = sign_extend(value, bits)
+        assert zero_extend(extended, bits) == zero_extend(value, bits)
+
+    @given(value=u64s)
+    def test_canonical_iff_fixed_point(self, value):
+        assert is_canonical32(value) == (
+            wrap_u64(sign_extend(value, 32)) == value
+        )
+
+    @given(value=i32s)
+    def test_canonical_values_roundtrip(self, value):
+        register = wrap_u64(value)
+        assert is_canonical32(register)
+        assert sign_extend(low32(register), 32) == value
+
+    @given(value=u64s)
+    def test_extend_widens_monotonically(self, value):
+        # canonical-8 implies canonical-16 implies canonical-32.
+        v8 = wrap_u64(sign_extend(value, 8))
+        assert wrap_u64(sign_extend(v8, 16)) == v8
+        assert wrap_u64(sign_extend(v8, 32)) == v8
+
+    @given(bits=st.integers(min_value=0, max_value=2**70))
+    def test_bit_indices_roundtrip(self, bits):
+        indices = bit_indices(bits)
+        assert sum(1 << i for i in indices) == bits
+        assert indices == sorted(indices)
+
+
+class TestIntervals:
+    intervals = st.builds(
+        lambda a, b: Interval(min(a, b), max(a, b)), i32s, i32s
+    )
+
+    @given(a=intervals, b=intervals)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.lo <= a.lo and u.hi >= a.hi
+        assert u.lo <= b.lo and u.hi >= b.hi
+
+    @given(a=intervals)
+    def test_union_with_top_is_top(self, a):
+        assert a.union(TOP).is_top
+
+    @given(a=intervals)
+    def test_within_reflexive(self, a):
+        assert a.within(a.lo, a.hi)
+
+    @given(lo=st.integers(min_value=-2**40, max_value=2**40),
+           hi=st.integers(min_value=-2**40, max_value=2**40))
+    def test_clamped_never_invents_precision(self, lo, hi):
+        result = _clamped(lo, hi)
+        if lo <= hi and INT32_MIN <= lo and hi <= INT32_MAX:
+            assert result == Interval(lo, hi)
+        else:
+            assert result.is_top
+
+
+class TestCheckedArithmetic:
+    """The interpreter's 32-bit ops agree with Java reference semantics."""
+
+    @given(a=i32s, b=i32s)
+    def test_add32_low_bits(self, a, b):
+        from repro.interp.interpreter import _INT32_BINOPS
+        from repro.ir.opcodes import Opcode
+
+        machine = _INT32_BINOPS[Opcode.ADD32](wrap_u64(a), wrap_u64(b))
+        java = sign_extend(a + b, 32)
+        assert sign_extend(low32(machine), 32) == java
+
+    @given(a=i32s, b=i32s)
+    def test_mul32_low_bits(self, a, b):
+        from repro.interp.interpreter import _INT32_BINOPS
+        from repro.ir.opcodes import Opcode
+
+        machine = _INT32_BINOPS[Opcode.MUL32](wrap_u64(a), wrap_u64(b))
+        java = sign_extend(a * b, 32)
+        assert sign_extend(low32(machine), 32) == java
+
+    @given(a=i32s, b=i32s.filter(lambda v: v != 0))
+    def test_div32_matches_java(self, a, b):
+        from repro.interp.interpreter import _java_idiv
+
+        machine = _java_idiv(wrap_u64(a), wrap_u64(b))
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert sign_extend(low32(machine), 32) == sign_extend(expected, 32)
+
+    @given(a=i32s, n=st.integers(min_value=0, max_value=63))
+    def test_shr32_matches_java(self, a, n):
+        from repro.interp.interpreter import _INT32_BINOPS
+        from repro.ir.opcodes import Opcode
+
+        machine = _INT32_BINOPS[Opcode.SHR32](wrap_u64(a), n)
+        assert sign_extend(machine, 64) == a >> (n & 31)
+
+    @given(a=i32s, n=st.integers(min_value=0, max_value=63))
+    def test_ushr32_matches_java(self, a, n):
+        from repro.interp.interpreter import _INT32_BINOPS
+        from repro.ir.opcodes import Opcode
+
+        machine = _INT32_BINOPS[Opcode.USHR32](wrap_u64(a), n)
+        assert machine == zero_extend(a, 32) >> (n & 31)

@@ -1,0 +1,79 @@
+"""Property-based soundness tests.
+
+The central invariant of the whole repository: **no optimization variant
+may change observable behaviour**.  Random J32 programs (loops, arrays,
+overflowing arithmetic, narrowing casts) are compiled under every
+variant and executed with machine-faithful semantics; checksums, return
+values, and trap behaviour must match the unoptimized run exactly.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import VARIANTS, compile_program
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.machine import IA64, PPC64
+from repro.testing import generate_program
+
+_FAST_VARIANTS = {
+    name: VARIANTS[name]
+    for name in ("baseline", "gen use", "first algorithm (bwd flow)",
+                 "new algorithm (all)", "all, using PDE")
+}
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _gold_and_variants(seed: int, variants, traits=IA64):
+    source = generate_program(seed)
+    program = compile_source(source, f"fuzz{seed}")
+    gold = Interpreter(program, mode="ideal", fuel=2_000_000).run()
+    for name, config in variants.items():
+        config = config.with_traits(traits)
+        compiled = compile_program(program, config)
+        run = Interpreter(compiled.program, traits=traits,
+                          fuel=2_000_000).run()
+        assert run.observable() == gold.observable(), (
+            f"seed={seed} variant={name!r}: behaviour changed\n{source}"
+        )
+        yield name, compiled, run, gold
+
+
+class TestVariantEquivalence:
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_fast_variants_equivalent(self, seed):
+        for _ in _gold_and_variants(seed, _FAST_VARIANTS):
+            pass
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=20_000, max_value=30_000))
+    def test_full_variant_set_on_fewer_seeds(self, seed):
+        for _ in _gold_and_variants(seed, VARIANTS):
+            pass
+
+    @_SETTINGS
+    @given(seed=st.integers(min_value=40_000, max_value=50_000))
+    def test_ppc64_target(self, seed):
+        for _ in _gold_and_variants(seed, _FAST_VARIANTS, traits=PPC64):
+            pass
+
+
+class TestEliminationNeverIncreases:
+    @_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_new_algorithm_never_worse_than_basic(self, seed):
+        source = generate_program(seed)
+        program = compile_source(source, f"fuzz{seed}")
+        runs = {}
+        for name in ("basic ud/du", "new algorithm (all)"):
+            compiled = compile_program(program, VARIANTS[name])
+            runs[name] = Interpreter(
+                compiled.program, fuel=2_000_000
+            ).run()
+        assert (runs["new algorithm (all)"].extends32
+                <= runs["basic ud/du"].extends32 + 2)

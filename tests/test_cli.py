@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+double main() {
+    int[] a = new int[32];
+    int t = 0;
+    for (int i = 0; i < 32; i++) { a[i] = i * 5; }
+    for (int i = 31; i > 0; i--) { t += a[i]; }
+    double d = (double) t;
+    sinkd(d);
+    return d;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "kernel.j32"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_result(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "result" in out
+        assert "verified against gold" in out
+
+    def test_run_baseline_variant(self, source_file, capsys):
+        assert main(["run", source_file, "--variant", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "32-bit" in out
+
+    def test_run_ppc64(self, source_file, capsys):
+        assert main(["run", source_file, "--machine", "ppc64"]) == 0
+
+
+class TestIR:
+    def test_ir_dump(self, source_file, capsys):
+        assert main(["ir", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "func @main" in out
+        assert "aload" in out
+
+
+class TestAsm:
+    def test_ia64_asm(self, source_file, capsys):
+        assert main(["asm", source_file, "--variant", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "shladd" in out
+
+    def test_ppc64_asm(self, source_file, capsys):
+        assert main(["asm", source_file, "--machine", "ppc64",
+                     "--variant", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "rldic" in out
+
+
+class TestVariants:
+    def test_variant_table(self, source_file, capsys):
+        assert main(["variants", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "new algorithm (all)" in out
+        assert "100.00%" in out
+
+
+class TestBench:
+    def test_unknown_workload(self, capsys):
+        assert main(["bench", "doom"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err

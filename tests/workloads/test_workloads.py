@@ -1,0 +1,82 @@
+"""Tests for the benchmark workloads.
+
+Every workload must compile, verify, run deterministically, and behave
+identically under the strongest optimization variant.  (The full
+12-variant sweep over all 17 workloads is the benchmark harness's job;
+here we keep one fast full check per workload.)
+"""
+
+import pytest
+
+from repro.core import VARIANTS, compile_program
+from repro.ir import verify_program
+from repro.workloads import (
+    JBYTEMARK,
+    SPECJVM98,
+    all_workloads,
+    get_workload,
+    jbytemark_workloads,
+    specjvm98_workloads,
+)
+from tests.conftest import run_ideal, run_machine
+
+ALL_NAMES = JBYTEMARK + SPECJVM98
+
+
+class TestRegistry:
+    def test_counts_match_paper(self):
+        assert len(JBYTEMARK) == 10
+        assert len(SPECJVM98) == 7
+        assert len(all_workloads()) == 17
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("quake3")
+
+    def test_suites_disjoint(self):
+        assert set(JBYTEMARK).isdisjoint(SPECJVM98)
+
+    def test_display_names(self):
+        assert get_workload("numeric_sort").display_name == "Numeric Sort"
+        assert get_workload("mtrt").display_name == "mtrt"
+
+    def test_suite_helpers(self):
+        assert [w.suite for w in jbytemark_workloads()] == ["jbytemark"] * 10
+        assert [w.suite for w in specjvm98_workloads()] == ["specjvm98"] * 7
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEachWorkload:
+    def test_compiles_and_verifies(self, name):
+        program = get_workload(name).program()
+        verify_program(program)
+        assert "main" in program.functions
+
+    def test_deterministic(self, name):
+        workload = get_workload(name)
+        first = run_ideal(workload.program(), fuel=10_000_000)
+        second = run_ideal(workload.program(), fuel=10_000_000)
+        assert first.observable() == second.observable()
+        assert first.checksum != 0  # the workload actually sinks data
+
+    def test_optimized_matches_gold(self, name):
+        workload = get_workload(name)
+        program = workload.program()
+        gold = run_ideal(program, fuel=10_000_000)
+        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        run = run_machine(compiled.program, fuel=10_000_000)
+        assert run.observable() == gold.observable()
+
+    def test_full_algorithm_eliminates_majority(self, name):
+        """The paper's headline: the majority of dynamic sign extensions
+        disappear on every benchmark."""
+        workload = get_workload(name)
+        program = workload.program()
+        base = compile_program(program, VARIANTS["baseline"])
+        best = compile_program(program, VARIANTS["new algorithm (all)"])
+        base_run = run_machine(base.program, fuel=10_000_000)
+        best_run = run_machine(best.program, fuel=10_000_000)
+        if base_run.extends32 == 0:
+            pytest.skip("workload executes no 32-bit extensions")
+        residual = best_run.extends32 / base_run.extends32
+        assert residual < 0.5, f"only {100 * (1 - residual):.1f}% eliminated"
