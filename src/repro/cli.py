@@ -3,10 +3,12 @@
 Usage::
 
     python -m repro run program.j32            # compile + execute
+    python -m repro run program.j32 --telemetry out.json
     python -m repro ir program.j32             # dump optimized IR
     python -m repro asm program.j32 --machine ppc64
     python -m repro variants program.j32       # all 12 table rows
     python -m repro bench huffman              # one workload sweep
+    python -m repro trace program.j32 --out trace.json   # about://tracing
 
 Every optimized execution is checked against the unoptimized gold run.
 """
@@ -14,6 +16,7 @@ Every optimized execution is checked against the unoptimized gold run.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -24,6 +27,7 @@ from .ir import format_program
 from .machine import MACHINES
 from .machine.costs import count_cycles
 from .machine.lower import lower_function
+from .telemetry import Telemetry
 
 
 def _load(path: str):
@@ -31,7 +35,8 @@ def _load(path: str):
     return compile_source(source, pathlib.Path(path).stem)
 
 
-def _common_args(parser: argparse.ArgumentParser) -> None:
+def _common_args(parser: argparse.ArgumentParser,
+                 telemetry: bool = False) -> None:
     parser.add_argument("--variant", default="new algorithm (all)",
                         choices=sorted(VARIANTS),
                         help="optimization variant (a Table 1/2 row)")
@@ -39,6 +44,24 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(MACHINES), help="target traits")
     parser.add_argument("--fuel", type=int, default=100_000_000,
                         help="interpreter step budget")
+    if telemetry:
+        parser.add_argument("--telemetry", default=None, metavar="OUT.JSON",
+                            help="write the full telemetry document "
+                                 "(spans, metrics, decision log) here")
+
+
+def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
+    if getattr(args, "telemetry", None) is None:
+        return None
+    return Telemetry(label=pathlib.Path(args.file).stem)
+
+
+def _finish_telemetry(args: argparse.Namespace,
+                      telemetry: Telemetry | None) -> None:
+    if telemetry is None:
+        return
+    telemetry.write_json(args.telemetry)
+    print(f"[telemetry written to {args.telemetry}]")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -46,8 +69,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     traits = MACHINES[args.machine]
     gold = Interpreter(program, mode="ideal", fuel=args.fuel).run()
     config = VARIANTS[args.variant].with_traits(traits)
-    compiled = compile_program(program, config)
-    run = Interpreter(compiled.program, traits=traits, fuel=args.fuel).run()
+    telemetry = _make_telemetry(args)
+    compiled = compile_program(program, config, telemetry=telemetry)
+    run = Interpreter(
+        compiled.program, traits=traits, fuel=args.fuel,
+        metrics=telemetry.metrics if telemetry is not None else None,
+    ).run()
     if run.observable() != gold.observable():
         print("ERROR: optimized behaviour diverged from gold run",
               file=sys.stderr)
@@ -60,6 +87,7 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"16-bit {run.extend_counts[16]}, 8-bit {run.extend_counts[8]}")
     print(f"cycles    : {cycles.total:.0f} modelled "
           f"({cycles.extend_cycles:.0f} in sign extensions)")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -67,8 +95,40 @@ def cmd_ir(args: argparse.Namespace) -> int:
     program = _load(args.file)
     traits = MACHINES[args.machine]
     config = VARIANTS[args.variant].with_traits(traits)
-    compiled = compile_program(program, config)
+    telemetry = _make_telemetry(args)
+    compiled = compile_program(program, config, telemetry=telemetry)
     print(format_program(compiled.program))
+    _finish_telemetry(args, telemetry)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Compile + execute under full telemetry; write a Chrome trace."""
+    program = _load(args.file)
+    traits = MACHINES[args.machine]
+    config = VARIANTS[args.variant].with_traits(traits)
+    telemetry = Telemetry(label=pathlib.Path(args.file).stem)
+    compiled = compile_program(program, config, telemetry=telemetry)
+    run = Interpreter(compiled.program, traits=traits, fuel=args.fuel,
+                      metrics=telemetry.metrics).run()
+
+    out = pathlib.Path(args.out)
+    with open(out, "w") as handle:
+        json.dump(telemetry.tracer.to_chrome_trace(), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+    span_count = sum(1 for _ in telemetry.tracer.walk())
+    decisions = telemetry.decisions
+    print(f"trace     : {out} ({span_count} spans; load in "
+          "about://tracing or ui.perfetto.dev)")
+    print(f"decisions : {len(decisions)} candidates "
+          f"({len(decisions.eliminated())} eliminated, "
+          f"{len(decisions.kept())} kept)")
+    print(f"extends   : {compiled.static_extend_count} static after "
+          f"compile, {run.extend_counts[32]} executed (32-bit)")
+    if args.full is not None:
+        telemetry.write_json(args.full)
+        print(f"full      : {args.full} (spans + metrics + decision log)")
     return 0
 
 
@@ -119,13 +179,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown workload {args.workload!r}; available: "
               + ", ".join(JBYTEMARK + SPECJVM98), file=sys.stderr)
         return 1
-    results = run_workload(get_workload(args.workload))
+    collect = args.telemetry is not None
+    results = run_workload(get_workload(args.workload),
+                           collect_telemetry=collect)
     print(format_dynamic_count_table(
         [results], f"Dynamic 32-bit sign extensions: {args.workload}"
     ))
     if args.json:
         export_json([results], args.json)
         print(f"\n[json written to {args.json}]")
+    if collect:
+        document = {
+            "workload": args.workload,
+            "variants": {
+                name: cell.telemetry
+                for name, cell in results.cells.items()
+            },
+        }
+        with open(args.telemetry, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[telemetry written to {args.telemetry}]")
     return 0
 
 
@@ -180,13 +254,26 @@ def main(argv: list[str] | None = None) -> int:
 
     run_parser = subparsers.add_parser("run", help="compile and execute")
     run_parser.add_argument("file")
-    _common_args(run_parser)
+    _common_args(run_parser, telemetry=True)
     run_parser.set_defaults(fn=cmd_run)
 
     ir_parser = subparsers.add_parser("ir", help="dump optimized IR")
     ir_parser.add_argument("file")
-    _common_args(ir_parser)
+    _common_args(ir_parser, telemetry=True)
     ir_parser.set_defaults(fn=cmd_ir)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="compile + run under full telemetry; write a "
+                      "Chrome about://tracing JSON"
+    )
+    trace_parser.add_argument("file")
+    trace_parser.add_argument("--out", default="trace.json",
+                              help="Chrome trace_event output path")
+    trace_parser.add_argument("--full", default=None, metavar="OUT.JSON",
+                              help="also write the full telemetry "
+                                   "document (metrics + decision log)")
+    _common_args(trace_parser)
+    trace_parser.set_defaults(fn=cmd_trace)
 
     asm_parser = subparsers.add_parser(
         "asm", help="dump assembly-flavoured lowering"
@@ -208,6 +295,9 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("workload")
     bench_parser.add_argument("--json", default=None,
                               help="also write results as JSON")
+    bench_parser.add_argument("--telemetry", default=None,
+                              metavar="OUT.JSON",
+                              help="collect + write per-variant telemetry")
     bench_parser.set_defaults(fn=cmd_bench)
 
     report_parser = subparsers.add_parser(

@@ -51,6 +51,16 @@ from ..ir.semantics import (
 )
 from ..ir.types import INT32_MAX, ScalarType
 from ..machine.model import MachineTraits
+from ..telemetry import (
+    CAUSE_ARRAY,
+    CAUSE_DEF,
+    CAUSE_REQUIRED,
+    CAUSE_USE,
+    DecisionRecord,
+    Telemetry,
+    VERDICT_ELIMINATED,
+    VERDICT_KEPT,
+)
 from .config import SignExtConfig
 
 
@@ -74,7 +84,8 @@ class EliminationStats:
 class Eliminator:
     """Analyzes and eliminates sign extensions one at a time."""
 
-    def __init__(self, func, chains: Chains, config: SignExtConfig) -> None:
+    def __init__(self, func, chains: Chains, config: SignExtConfig,
+                 telemetry: Telemetry | None = None) -> None:
         self.func = func
         self.chains = chains
         self.config = config
@@ -87,6 +98,19 @@ class Eliminator:
         self._canon_in_progress: set[tuple[int, int]] = set()
         self._zero_flags: set[int] = set()
         self._array_flags: set[int] = set()
+        # Optional decision recording.  ``_trail`` is non-None only
+        # while a candidate is being analyzed with telemetry attached;
+        # every recording site is guarded on it, so the disabled path
+        # costs one ``is not None`` test at most.
+        self.telemetry = telemetry
+        self._trail: list[str] | None = None
+        self._trail_theorems: list[int] | None = None
+        self._trail_dummy = False
+        self._block_of: dict[int, str] = {}
+        if telemetry is not None:
+            for block in func.blocks:
+                for instr in block.instrs:
+                    self._block_of[instr.uid] = block.label
 
     # -- the paper's EliminateOneExtend -------------------------------------
 
@@ -98,6 +122,11 @@ class Eliminator:
         self._zero_flags = set()
         self._array_flags = set()
         width = EXTEND_BITS[ext.opcode]
+        recording = self.telemetry is not None
+        if recording:
+            self._trail = []
+            self._trail_theorems = []
+            self._trail_dummy = False
 
         required = False
         for use in self.chains.uses_of(ext):
@@ -106,17 +135,71 @@ class Eliminator:
                 required = True
                 break
 
+        use_side_ok = not required
         if required:
             required = False
             for definition in self.chains.defs_for(ext, 0):
                 if self.analyze_def(definition, width):
                     required = True
                     break
+            if not required and self._trail is not None:
+                self._trail.append(
+                    "AnalyzeDEF: every definition reaching the source is "
+                    "already canonical"
+                )
+
+        if recording:
+            self._record_decision(ext, width, removed=not required,
+                                  use_side_ok=use_side_ok)
+            self._trail = None
+            self._trail_theorems = None
 
         if required:
             return False
         self.chains.bypass_and_remove(ext)
         return True
+
+    # -- decision recording (telemetry only) --------------------------------
+
+    def _note(self, reason: str) -> None:
+        if self._trail is not None:
+            self._trail.append(reason)
+
+    def _theorem_hit(self, theorem: int) -> None:
+        if self._trail_theorems is not None:
+            self._trail_theorems.append(theorem)
+
+    def _record_decision(self, ext: Instr, width: int, *, removed: bool,
+                         use_side_ok: bool) -> None:
+        theorems = sorted(set(self._trail_theorems or ()))
+        if removed:
+            verdict = VERDICT_ELIMINATED
+            if use_side_ok:
+                cause = CAUSE_ARRAY if theorems else CAUSE_USE
+            else:
+                cause = CAUSE_DEF
+        else:
+            verdict = VERDICT_KEPT
+            cause = CAUSE_REQUIRED
+        self.telemetry.decisions.add(DecisionRecord(
+            function=self.func.name,
+            block=self._block_of.get(ext.uid, "?"),
+            instr_uid=ext.uid,
+            instr=str(ext),
+            width=width,
+            verdict=verdict,
+            cause=cause,
+            reasons=list(self._trail or ()),
+            theorems=theorems,
+        ))
+        metrics = self.telemetry.metrics
+        metrics.counter("signext.decisions", verdict=verdict).inc()
+        if removed:
+            metrics.counter("signext.eliminated_by_cause", cause=cause).inc()
+            if self._trail_dummy:
+                metrics.counter("signext.dummy_marker_assists").inc()
+        for theorem in theorems:
+            metrics.counter("signext.theorem_hits", theorem=theorem).inc()
 
     # -- AnalyzeUSE -------------------------------------------------------------
 
@@ -134,12 +217,36 @@ class Eliminator:
         if kind is UseKind.IGNORES_HIGH:
             # Case 1 — but a narrower extension is still needed by a use
             # that reads bits at or above its width.
-            return use_read_bits(instr, index) > width
+            if use_read_bits(instr, index) > width:
+                if self._trail is not None:
+                    self._trail.append(
+                        f"AnalyzeUSE: use #{instr.uid} ({instr}) reads "
+                        f"bits above width {width}"
+                    )
+                return True
+            return False
         if kind is UseKind.ARRAY_INDEX:
             if width < 32:
+                if self._trail is not None:
+                    self._trail.append(
+                        f"AnalyzeUSE: array index at #{instr.uid} feeds a "
+                        f"32-bit bounds check; {width}-bit extension required"
+                    )
                 return True  # bits below 32 feed the bounds check
             if analyze_array:
-                return self.analyze_array(ext, instr, index)
+                result = self.analyze_array(ext, instr, index)
+                if self._trail is not None:
+                    self._trail.append(
+                        f"AnalyzeARRAY: subscript at #{instr.uid} ({instr}) "
+                        + ("requires the extension" if result
+                           else "is safe without the extension")
+                    )
+                return result
+            if self._trail is not None:
+                self._trail.append(
+                    f"AnalyzeUSE: array index at #{instr.uid} with array "
+                    "analysis disabled; extension required"
+                )
             return True
         if kind is UseKind.PROPAGATES:
             # Refinement of Case 1 (the paper's Figure 3, statement (6)):
@@ -160,6 +267,11 @@ class Eliminator:
                                     analyze_array):
                     return True
             return False
+        if self._trail is not None:
+            self._trail.append(
+                f"AnalyzeUSE: use #{instr.uid} ({instr}) requires a "
+                "canonical full-width value"
+            )
         return True  # REQUIRES
 
     # -- AnalyzeDEF -------------------------------------------------------------
@@ -175,7 +287,19 @@ class Eliminator:
         """
         if definition.is_param:
             if definition.reg.type is ScalarType.I32:
-                return not (self.traits.abi_canonical_args and width >= 32)
+                required = not (self.traits.abi_canonical_args
+                                and width >= 32)
+                if required and self._trail is not None:
+                    self._trail.append(
+                        f"AnalyzeDEF: parameter %{definition.reg.name} is "
+                        "not ABI-canonical at this width"
+                    )
+                return required
+            if self._trail is not None:
+                self._trail.append(
+                    f"AnalyzeDEF: parameter %{definition.reg.name} has a "
+                    "non-i32 type; canonicality unknown"
+                )
             return True
         instr = definition.instr
         key = (instr.uid, width)
@@ -196,6 +320,13 @@ class Eliminator:
         guaranteed = canonical_bits(instr, self.traits,
                                     self.ranges.const_of_use)
         if guaranteed is not None and guaranteed <= width:
+            if (self._trail is not None
+                    and instr.opcode is Opcode.JUST_EXTENDED):
+                self._trail_dummy = True
+                self._trail.append(
+                    f"AnalyzeDEF: dummy marker #{instr.uid} guarantees the "
+                    "bounds-checked index is canonical"
+                )
             return False  # Case 1
         if instr.opcode is Opcode.AND32 and width >= 32 \
                 and self._and_operand_positive(instr):
@@ -212,6 +343,11 @@ class Eliminator:
                     if self.analyze_def(up_def, width):
                         return True
             return False
+        if self._trail is not None:
+            self._trail.append(
+                f"AnalyzeDEF: definition #{instr.uid} ({instr}) does not "
+                f"guarantee canonical bits <= {width}"
+            )
         return True
 
     def _canonical_via_range(self, instr: Instr) -> bool:
@@ -357,8 +493,10 @@ class Eliminator:
         # bounds check is non-negative, hence zero-extended (Theorem 1's
         # generalization); upper-32-zero + LS is Theorem 1 itself.
         if 1 in theorems and self._def_canonical_quick(instr, ext):
+            self._theorem_hit(1)
             return True
         if 1 in theorems and self._def_upper_zero_wrapper(instr, ext):
+            self._theorem_hit(1)
             return True
         if instr.opcode is Opcode.MOV:
             return self._theorem_operand_ok(instr, 0, ext)
@@ -395,6 +533,10 @@ class Eliminator:
         for index in (0, 1):
             interval = self.ranges.range_of_use(instr, index)
             if interval.lo >= bound and interval.hi <= INT32_MAX:
+                self._theorem_hit(
+                    2 if interval.lo >= 0 and 2 in self.config.theorems
+                    else 4
+                )
                 return True
         return False
 
@@ -406,6 +548,7 @@ class Eliminator:
         if (3 in theorems
                 and self._operand_upper_zero(instr, 0, bypass=ext)
                 and j_range.lo >= 0 and j_range.hi <= INT32_MAX):
+            self._theorem_hit(3)
             return True
         # Theorems 2/4 with j := -j (the paper's closing remark).
         if not theorems & {2, 4}:
@@ -416,10 +559,16 @@ class Eliminator:
         bound = self._theorem_bound()
         i_range = self.ranges.range_of_use(instr, 0)
         if i_range.lo >= bound and i_range.hi <= INT32_MAX:
+            self._theorem_hit(
+                2 if i_range.lo >= 0 and 2 in theorems else 4
+            )
             return True
         if j_range.lo > -(INT32_MAX + 1):  # -j must not overflow
             negated = Interval(-j_range.hi, -j_range.lo)
             if negated.lo >= bound and negated.hi <= INT32_MAX:
+                self._theorem_hit(
+                    2 if negated.lo >= 0 and 2 in theorems else 4
+                )
                 return True
         return False
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..opt.pass_manager import BUCKET_CHAINS, BUCKET_OTHERS, BUCKET_SIGN_EXT
 from .runner import WorkloadResults
 
 
@@ -34,12 +33,10 @@ def results_to_dict(results: list[WorkloadResults]) -> dict[str, Any]:
                     cell.cycles.improvement_over(baseline.cycles), 4
                 ),
                 "steps": cell.steps,
-                "compile_seconds": {
-                    "sign_ext": cell.timing.seconds.get(BUCKET_SIGN_EXT, 0.0),
-                    "chains": cell.timing.seconds.get(BUCKET_CHAINS, 0.0),
-                    "others": cell.timing.seconds.get(BUCKET_OTHERS, 0.0),
-                },
+                "compile_seconds": cell.timing.as_dict(),
             }
+            if cell.telemetry is not None:
+                entry["variants"][name]["telemetry"] = cell.telemetry
         payload["workloads"].append(entry)
     return payload
 

@@ -25,6 +25,7 @@ from ..interp.profiler import collect_branch_profiles
 from ..machine.costs import CycleReport, count_cycles
 from ..machine.model import IA64, MachineTraits
 from ..opt.pass_manager import Timing
+from ..telemetry import Telemetry
 from ..workloads import Workload
 
 
@@ -43,6 +44,9 @@ class CellResult:
     cycles: CycleReport
     timing: Timing
     steps: int
+    #: full telemetry document for this (workload, variant) cell; only
+    #: populated when the runner was asked to collect telemetry
+    telemetry: dict | None = None
 
     def percent_of(self, baseline: "CellResult") -> float:
         if baseline.dyn_extend32 == 0:
@@ -67,8 +71,16 @@ def run_workload(
     *,
     traits: MachineTraits = IA64,
     fuel: int = 100_000_000,
+    collect_telemetry: bool = False,
 ) -> WorkloadResults:
-    """Run one workload under every variant; verify soundness throughout."""
+    """Run one workload under every variant; verify soundness throughout.
+
+    With ``collect_telemetry=True`` every cell carries its full
+    telemetry document (compile-time spans, decision log, and runtime
+    metrics), so two benchmark runs become diffable down to individual
+    elimination decisions.  Off by default: the paper's Table 3 timing
+    numbers must not pay for observability they did not ask for.
+    """
     variants = variants if variants is not None else VARIANTS
     source = workload.program()
 
@@ -78,8 +90,13 @@ def run_workload(
     results = WorkloadResults(workload=workload, gold_checksum=gold.checksum)
     for name, config in variants.items():
         config = config.with_traits(traits)
-        compiled = compile_program(source, config, profiles)
-        run = Interpreter(compiled.program, traits=traits, fuel=fuel).run()
+        telemetry = (Telemetry(label=f"{workload.name}/{name}")
+                     if collect_telemetry else None)
+        compiled = compile_program(source, config, profiles,
+                                   telemetry=telemetry)
+        metrics = telemetry.metrics if telemetry is not None else None
+        run = Interpreter(compiled.program, traits=traits, fuel=fuel,
+                          metrics=metrics).run()
         if run.observable() != gold.observable():
             raise SoundnessError(
                 f"{workload.name} / {name}: observable behaviour changed "
@@ -95,6 +112,8 @@ def run_workload(
             cycles=count_cycles(compiled.program, run, traits),
             timing=compiled.timing,
             steps=run.steps,
+            telemetry=(telemetry.to_dict() if telemetry is not None
+                       else None),
         )
     return results
 
@@ -104,5 +123,10 @@ def run_suite(
     variants: dict[str, SignExtConfig] | None = None,
     *,
     traits: MachineTraits = IA64,
+    collect_telemetry: bool = False,
 ) -> list[WorkloadResults]:
-    return [run_workload(w, variants, traits=traits) for w in workloads]
+    return [
+        run_workload(w, variants, traits=traits,
+                     collect_telemetry=collect_telemetry)
+        for w in workloads
+    ]

@@ -90,6 +90,7 @@ class Interpreter:
         fuel: int = 50_000_000,
         collect_profile: bool = False,
         check_dummies: bool = True,
+        metrics=None,
     ) -> None:
         if mode not in ("machine", "ideal"):
             raise ValueError(f"unknown mode: {mode}")
@@ -99,6 +100,10 @@ class Interpreter:
         self.fuel = fuel
         self.collect_profile = collect_profile
         self.check_dummies = check_dummies
+        #: optional repro.telemetry.MetricsRegistry; runtime counters
+        #: are flushed into it once at the end of run() (zero per-step
+        #: overhead, the hot loop never consults it)
+        self.metrics = metrics
 
         self.heap = Heap()
         self.globals: dict[str, int | float] = {
@@ -119,7 +124,7 @@ class Interpreter:
             args: tuple[int | float, ...] = ()) -> ExecResult:
         func = self.program.function(func_name)
         ret = self._call(func, args)
-        return ExecResult(
+        result = ExecResult(
             checksum=self.checksum,
             ret_value=ret,
             steps=self.steps,
@@ -127,6 +132,25 @@ class Interpreter:
             site_counts=self.site_counts,
             opcode_counts=self.opcode_counts,
             profiles=self.profiles,
+        )
+        if self.metrics is not None:
+            self._flush_metrics(result)
+        return result
+
+    def _flush_metrics(self, result: ExecResult) -> None:
+        """Dump one run's dynamic counters into the metrics sink."""
+        metrics = self.metrics
+        for width, count in result.extend_counts.items():
+            if count:
+                metrics.counter("runtime.extends", width=width).inc(count)
+        for opcode, count in result.opcode_counts.items():
+            metrics.counter("runtime.opcodes", op=opcode.value).inc(count)
+        metrics.counter("runtime.steps").inc(result.steps)
+        metrics.gauge("runtime.fuel_remaining").set(
+            max(0, self.fuel - result.steps)
+        )
+        metrics.histogram("runtime.site_exec_counts").merge(
+            _site_histogram(result.site_counts)
         )
 
     # -- execution core ---------------------------------------------------------
@@ -407,6 +431,16 @@ class Interpreter:
         else:
             bits = wrap_u64(int(value))
         self.checksum = ((self.checksum ^ bits) * _FNV_PRIME) & U64
+
+
+def _site_histogram(site_counts: dict[int, int]):
+    """Distribution of per-site execution counts (how hot is hot)."""
+    from ..telemetry.metrics import Histogram
+
+    histogram = Histogram()
+    for count in site_counts.values():
+        histogram.observe(count)
+    return histogram
 
 
 def _compare(a, b, cond: Cond) -> bool:

@@ -3,6 +3,9 @@
 The paper buckets JIT compilation time into "sign extension
 optimizations", "UD/DU chain creation", and "others"; passes here
 declare their bucket so the harness can reproduce that breakdown.
+
+When a :class:`~repro.telemetry.tracer.Tracer` is attached, every pass
+execution additionally becomes one span in the pipeline trace.
 """
 
 from __future__ import annotations
@@ -10,14 +13,27 @@ from __future__ import annotations
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..ir.function import Function
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry.tracer import Tracer
 
 PassFn = Callable[[Function], bool]
 
 BUCKET_SIGN_EXT = "sign extension optimizations"
 BUCKET_CHAINS = "UD/DU chain creation"
 BUCKET_OTHERS = "others"
+
+#: Short machine-friendly key per bucket, shared by the harness JSON
+#: export and the telemetry export (one source of truth for the
+#: bucket -> key mapping).
+BUCKET_KEYS = {
+    BUCKET_SIGN_EXT: "sign_ext",
+    BUCKET_CHAINS: "chains",
+    BUCKET_OTHERS: "others",
+}
 
 
 @dataclass
@@ -40,29 +56,50 @@ class Timing:
         for bucket, elapsed in other.seconds.items():
             self.add(bucket, elapsed)
 
-    @property
     def total(self) -> float:
         return sum(self.seconds.values())
 
     def fraction(self, bucket: str) -> float:
-        total = self.total
+        total = self.total()
         if total == 0.0:
             return 0.0
         return self.seconds.get(bucket, 0.0) / total
+
+    def as_dict(self) -> dict[str, float]:
+        """Seconds per bucket under the short keys, plus the total.
+
+        The single rendering used by the harness JSON export, Table 3
+        code, and the telemetry export.
+        """
+        out = {
+            key: self.seconds.get(bucket, 0.0)
+            for bucket, key in BUCKET_KEYS.items()
+        }
+        out["total"] = self.total()
+        return out
 
 
 class PassManager:
     """Runs a fixed pipeline over one function, recording timing."""
 
-    def __init__(self, passes: list[Pass], timing: Timing | None = None) -> None:
+    def __init__(self, passes: list[Pass], timing: Timing | None = None,
+                 tracer: "Tracer | None" = None) -> None:
         self.passes = passes
         self.timing = timing if timing is not None else Timing()
+        self.tracer = tracer
 
     def run(self, func: Function) -> bool:
         changed = False
         for pass_ in self.passes:
             start = time.perf_counter()
-            changed |= bool(pass_.run(func))
+            if self.tracer is not None:
+                with self.tracer.span(pass_.name, category="pass",
+                                      function=func.name) as span:
+                    result = bool(pass_.run(func))
+                    span.annotate(changed=result)
+            else:
+                result = bool(pass_.run(func))
+            changed |= result
             self.timing.add(pass_.bucket, time.perf_counter() - start)
         return changed
 

@@ -1,0 +1,141 @@
+"""Telemetry: pipeline tracing, elimination decision logs, metrics.
+
+The observability backbone of the reproduction.  One
+:class:`Telemetry` object bundles the three channels:
+
+* :class:`~repro.telemetry.tracer.Tracer` — nested spans around every
+  pipeline phase, optimization pass, and sign-extension sub-phase,
+  exportable as Chrome ``trace_event`` JSON (``about://tracing``);
+* :class:`~repro.telemetry.metrics.MetricsRegistry` — counters, gauges,
+  and histograms for static and dynamic extension statistics;
+* :class:`~repro.telemetry.decisions.DecisionLog` — one structured
+  record per elimination candidate with its reason chain.
+
+Telemetry is strictly opt-in: every producer takes ``telemetry=None``
+and skips all recording when it is absent, so the paper's timing
+numbers (Table 3) are unaffected by this subsystem's existence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .decisions import (
+    CAUSE_ARRAY,
+    CAUSE_DEF,
+    CAUSE_REQUIRED,
+    CAUSE_USE,
+    DecisionLog,
+    DecisionRecord,
+    VERDICT_ELIMINATED,
+    VERDICT_KEPT,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Span, Tracer
+
+SCHEMA_VERSION = 1
+
+
+class Telemetry:
+    """Aggregates one compilation/execution's worth of observability."""
+
+    def __init__(self, label: str = "repro") -> None:
+        self.label = label
+        self.tracer = Tracer(process_name=label)
+        self.metrics = MetricsRegistry()
+        self.decisions = DecisionLog()
+
+    # -- convenience delegates ------------------------------------------------
+
+    def span(self, name: str, category: str = "pipeline", **args: Any):
+        return self.tracer.span(name, category, **args)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The full telemetry document (see docs/TELEMETRY.md)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "trace": self.tracer.to_chrome_trace(),
+            "spans": self.tracer.to_dict(),
+            "metrics": self.metrics.as_dict(),
+            "decisions": self.decisions.as_dicts(),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def validate_telemetry_document(doc: dict[str, Any]) -> list[str]:
+    """Light-weight schema check used by tests and the CI smoke step.
+
+    Returns a list of problems (empty when the document conforms).
+    """
+    problems: list[str] = []
+    for key in ("schema_version", "trace", "spans", "metrics", "decisions"):
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    trace = doc.get("trace")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        problems.append("trace is not a Chrome trace_event document")
+    else:
+        for i, event in enumerate(trace["traceEvents"]):
+            if event.get("ph") not in ("X", "M", "B", "E", "i", "C"):
+                problems.append(f"traceEvents[{i}] has bad phase "
+                                f"{event.get('ph')!r}")
+                break
+            if event.get("ph") == "X" and not (
+                    isinstance(event.get("ts"), int)
+                    and isinstance(event.get("dur"), int)):
+                problems.append(f"traceEvents[{i}] lacks integer ts/dur")
+                break
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not {
+            "counters", "gauges", "histograms"} <= set(metrics):
+        problems.append("metrics block malformed")
+    decisions = doc.get("decisions")
+    if not isinstance(decisions, list):
+        problems.append("decisions is not a list")
+    else:
+        required = {"function", "block", "instr_uid", "instr", "width",
+                    "verdict", "cause", "reasons"}
+        for i, record in enumerate(decisions):
+            if not required <= set(record):
+                problems.append(
+                    f"decisions[{i}] missing keys "
+                    f"{sorted(required - set(record))}"
+                )
+                break
+            if record["verdict"] not in (VERDICT_ELIMINATED, VERDICT_KEPT):
+                problems.append(f"decisions[{i}] bad verdict "
+                                f"{record['verdict']!r}")
+                break
+    return problems
+
+
+__all__ = [
+    "CAUSE_ARRAY",
+    "CAUSE_DEF",
+    "CAUSE_REQUIRED",
+    "CAUSE_USE",
+    "Counter",
+    "DecisionLog",
+    "DecisionRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "VERDICT_ELIMINATED",
+    "VERDICT_KEPT",
+    "validate_telemetry_document",
+]

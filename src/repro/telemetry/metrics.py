@@ -1,0 +1,181 @@
+"""A small metrics registry: counters, gauges, and histograms.
+
+Replaces the ad-hoc statistic fields that used to be scattered across
+``FunctionStats``/``ExecResult`` consumers with named, labelled,
+mergeable instruments.  Everything is in-process and dependency-free;
+the registry renders to plain dicts for JSON export.
+
+Instruments are keyed by ``(name, sorted labels)``, so
+``registry.counter("eliminated", width=32)`` and
+``registry.counter("eliminated", width=16)`` are distinct series of the
+same metric family — the Prometheus naming model, minus the wire
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, key: _LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Power-of-two bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: bucket upper bound (2**k) -> observations <= bound
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for value in (other.min, other.max):
+            if value is None:
+                continue
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+        for bound, count in other.buckets.items():
+            self.buckets[bound] = self.buckets.get(bound, 0) + count
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(b): c for b, c in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Holds all instruments; hands out one object per (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    # -- queries ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> int:
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def counter_family(self, name: str) -> dict[str, int]:
+        """All series of one counter family, by rendered series name."""
+        return {
+            _series_name(n, key): c.value
+            for (n, key), c in self._counters.items() if n == name
+        }
+
+    def series(self) -> Iterable[str]:
+        for (name, key) in (*self._counters, *self._gauges,
+                            *self._histograms):
+            yield _series_name(name, key)
+
+    # -- merge / export -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (sums counters, keeps the
+        other's gauges, merges histogram buckets)."""
+        for (name, key), counter in other._counters.items():
+            self._counters.setdefault((name, key), Counter()).value += \
+                counter.value
+        for (name, key), gauge in other._gauges.items():
+            self._gauges.setdefault((name, key), Gauge()).value = gauge.value
+        for (name, key), histogram in other._histograms.items():
+            self._histograms.setdefault((name, key), Histogram()).merge(
+                histogram
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "counters": {
+                _series_name(name, key): counter.value
+                for (name, key), counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series_name(name, key): gauge.value
+                for (name, key), gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _series_name(name, key): histogram.as_dict()
+                for (name, key), histogram in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,164 @@
+"""Zero-dependency span tracer with Chrome ``trace_event`` export.
+
+A :class:`Tracer` records a forest of :class:`Span` objects.  Spans are
+opened with the context-manager API::
+
+    with tracer.span("compile", category="pipeline", function="main"):
+        with tracer.span("convert64"):
+            ...
+
+Timestamps come from a monotonic clock (``time.perf_counter_ns``), so
+spans are immune to wall-clock adjustments; nesting is tracked with an
+explicit stack, so parent/child relations need no thread-locals (the
+compiler pipeline is single-threaded).
+
+The export format is the Chrome Trace Event JSON used by
+``about://tracing`` / Perfetto: a ``{"traceEvents": [...]}`` object of
+complete ("ph": "X") events whose ``ts``/``dur`` are microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable
+
+
+class Span:
+    """One timed region.  ``start_us``/``duration_us`` are microseconds
+    on the tracer's monotonic clock."""
+
+    __slots__ = ("name", "category", "start_us", "duration_us", "args",
+                 "children")
+
+    def __init__(self, name: str, category: str, start_us: int,
+                 args: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.category = category
+        self.start_us = start_us
+        self.duration_us = 0
+        self.args: dict[str, Any] = args or {}
+        self.children: list["Span"] = []
+
+    def annotate(self, **args: Any) -> None:
+        """Attach key/value payload visible in the trace viewer."""
+        self.args.update(args)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Nested (non-Chrome) representation, for tests and diffing."""
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+        }
+        if self.args:
+            entry["args"] = dict(self.args)
+        if self.children:
+            entry["children"] = [c.to_dict() for c in self.children]
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Span {self.name!r} +{self.start_us}us "
+                f"{self.duration_us}us {len(self.children)} children>")
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self.span)
+
+
+class Tracer:
+    """Records a forest of spans on a monotonic microsecond clock."""
+
+    def __init__(self, clock_ns: Callable[[], int] = time.perf_counter_ns,
+                 process_name: str = "repro") -> None:
+        self._clock_ns = clock_ns
+        self._epoch_ns = clock_ns()
+        self.process_name = process_name
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def _now_us(self) -> int:
+        return (self._clock_ns() - self._epoch_ns) // 1000
+
+    def span(self, name: str, category: str = "pipeline",
+             **args: Any) -> _SpanContext:
+        """Open a span; use as a context manager."""
+        span = Span(name, category, self._now_us(), args or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        end = self._now_us()
+        # Close any dangling descendants first (an exception may have
+        # skipped inner __exit__ calls when re-raised across frames).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            dangling.duration_us = max(0, end - dangling.start_us)
+        if self._stack:
+            self._stack.pop()
+        span.duration_us = max(0, end - span.start_us)
+
+    # -- export -------------------------------------------------------------
+
+    def walk(self):
+        """All spans, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def to_chrome_events(self) -> list[dict[str, Any]]:
+        """Complete ("ph": "X") events for every recorded span."""
+        events = []
+        for span in self.walk():
+            event: dict[str, Any] = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": 0,
+                "tid": 0,
+            }
+            if span.args:
+                event["args"] = dict(span.args)
+            events.append(event)
+        return events
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The ``about://tracing`` document: metadata + all span events."""
+        events: list[dict[str, Any]] = [{
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": self.process_name},
+        }]
+        events.extend(self.to_chrome_events())
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self.roots]
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=2, sort_keys=True)

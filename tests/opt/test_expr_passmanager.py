@@ -70,8 +70,13 @@ class TestTiming:
         timing.add(BUCKET_SIGN_EXT, 0.25)
         timing.add(BUCKET_CHAINS, 0.5)
         assert timing.seconds[BUCKET_SIGN_EXT] == 0.5
-        assert timing.total == 1.0
+        assert timing.total() == 1.0
         assert timing.fraction(BUCKET_CHAINS) == 0.5
+        exported = timing.as_dict()
+        assert exported["sign_ext"] == 0.5
+        assert exported["chains"] == 0.5
+        assert exported["others"] == 0.0
+        assert exported["total"] == 1.0
 
     def test_merge(self):
         a = Timing({BUCKET_OTHERS: 1.0})

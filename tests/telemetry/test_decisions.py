@@ -1,0 +1,210 @@
+"""Decision log: one explainable record per elimination candidate.
+
+The theorem kernels mirror tests/core/test_theorems.py; here the
+assertion is not just *that* the extension went away but that the
+decision log says *why* — verdict, cause, theorem attribution, and a
+non-empty reason chain for kept extensions.
+"""
+
+import dataclasses
+
+from repro.core import VARIANTS, compile_program
+from repro.ir import Cond, Opcode, Program, ScalarType, build_function
+from repro.telemetry import (
+    CAUSE_ARRAY,
+    CAUSE_REQUIRED,
+    Telemetry,
+    VERDICT_ELIMINATED,
+    VERDICT_KEPT,
+)
+
+ARRAY_CFG = VARIANTS["array"]
+FULL_CFG = VARIANTS["new algorithm (all)"]
+
+
+def _compile_logged(program, config):
+    telemetry = Telemetry("decisions-test")
+    compile_program(program, config, telemetry=telemetry)
+    return telemetry
+
+
+def _zero_extended_index_program():
+    """Theorem 1: a[b[0]] — the loaded index is zero-extended (IA64
+    loads clear the upper 32 bits), so its upper bits are provably
+    zero.  A masked index like (x & 0xF) would not do here: convert64
+    already knows AND-with-mask is canonical and never generates an
+    extension, so phase 3 would have nothing to prove."""
+    program = Program()
+    b = build_function(program, "main", [], ScalarType.I32)
+    n = b.const(16)
+    a = b.newarray(ScalarType.I32, n)
+    idx_arr = b.newarray(ScalarType.I32, n)
+    five = b.const(5)
+    zero = b.const(0)
+    b.astore(idx_arr, zero, five, ScalarType.I32)
+    loaded = b.aload(idx_arr, zero, ScalarType.I32)  # upper 32 zero
+    value = b.aload(a, loaded, ScalarType.I32)
+    out = b.binop(Opcode.AND32, value, b.const(0xFF))
+    b.sink(out)
+    b.ret(out)
+    return program
+
+
+def _sum_index_program():
+    """Theorem 2: i + (j & 0xFF), both canonical, one non-negative."""
+    program = Program()
+    b = build_function(program, "main",
+                       [("i", ScalarType.I32), ("j", ScalarType.I32)],
+                       ScalarType.I32)
+    i, j = b.func.params
+    a = b.newarray(ScalarType.I32, b.const(64))
+    masked = b.binop(Opcode.AND32, j, b.const(0xFF))
+    idx = b.binop(Opcode.ADD32, i, masked)
+    value = b.aload(a, idx, ScalarType.I32)
+    out = b.binop(Opcode.AND32, value, b.const(0xFF))
+    b.sink(out)
+    b.ret(out)
+    return program
+
+
+def _sub_index_program():
+    """Theorem 3: upper-zero i minus a small masked j."""
+    program = Program()
+    b = build_function(program, "main", [("x", ScalarType.I32)],
+                       ScalarType.I32)
+    n = b.const(64)
+    a = b.newarray(ScalarType.I32, n)
+    idx_arr = b.newarray(ScalarType.I32, n)
+    ten = b.const(10)
+    zero = b.const(0)
+    b.astore(idx_arr, zero, ten, ScalarType.I32)
+    i = b.aload(idx_arr, zero, ScalarType.I32)  # upper 32 zero (IA64)
+    j = b.binop(Opcode.AND32, b.func.params[0], b.const(0x7))
+    idx = b.binop(Opcode.SUB32, i, j)
+    value = b.aload(a, idx, ScalarType.I32)
+    out = b.binop(Opcode.AND32, value, b.const(0xFF))
+    b.sink(out)
+    b.ret(out)
+    return program
+
+
+def _count_down_program():
+    """Theorem 4: the classic count-down loop subscript."""
+    program = Program()
+    b = build_function(program, "main", [], ScalarType.I32)
+    a = b.newarray(ScalarType.I32, b.const(32))
+    i = b.func.named_reg("i", ScalarType.I32)
+    t = b.func.named_reg("t", ScalarType.I32)
+    one = b.const(1)
+    zero = b.const(0)
+    b.mov(b.const(31), i)
+    b.mov(zero, t)
+    loop = b.block("loop")
+    done = b.block("done")
+    b.jmp(loop)
+    b.switch(loop)
+    b.binop(Opcode.SUB32, i, one, i)
+    v = b.aload(a, i, ScalarType.I32)
+    b.binop(Opcode.ADD32, t, v, t)
+    cond = b.cmp(Opcode.CMP32, Cond.GT, i, zero)
+    b.br(cond, loop, done)
+    b.switch(done)
+    b.sink(t)
+    b.ret(t)
+    return program
+
+
+def _multiply_index_program():
+    """Hypothesis violation: i * 2 subscript must keep its extension."""
+    program = Program()
+    b = build_function(program, "main", [("i", ScalarType.I32)],
+                       ScalarType.I32)
+    a = b.newarray(ScalarType.I32, b.const(64))
+    idx = b.binop(Opcode.MUL32, b.func.params[0], b.const(2))
+    value = b.aload(a, idx, ScalarType.I32)
+    b.sink(value)
+    b.ret(value)
+    return program
+
+
+class TestEliminatedRecords:
+    def test_theorem1_attribution(self):
+        telemetry = _compile_logged(_zero_extended_index_program(),
+                                    ARRAY_CFG)
+        eliminated = telemetry.decisions.eliminated()
+        assert eliminated, "Theorem 1 kernel eliminated nothing"
+        array_records = [r for r in eliminated if r.cause == CAUSE_ARRAY]
+        assert array_records, "no AnalyzeARRAY-caused elimination recorded"
+        assert any(1 in r.theorems for r in array_records)
+        assert telemetry.metrics.counter_value(
+            "signext.theorem_hits", theorem=1) >= 1
+
+    def test_theorem2_attribution(self):
+        telemetry = _compile_logged(_sum_index_program(), ARRAY_CFG)
+        array_records = [r for r in telemetry.decisions.eliminated()
+                         if r.cause == CAUSE_ARRAY]
+        assert array_records
+        hit = set().union(*(r.theorems for r in array_records))
+        assert hit & {2, 4}, f"expected a Theorem 2/4 hit, got {hit}"
+
+    def test_theorem3_attribution(self):
+        telemetry = _compile_logged(_sub_index_program(),
+                                    VARIANTS["array, order"])
+        array_records = [r for r in telemetry.decisions.eliminated()
+                         if r.cause == CAUSE_ARRAY]
+        assert array_records
+        hit = set().union(*(r.theorems for r in array_records))
+        assert 3 in hit, f"expected a Theorem 3 hit, got {hit}"
+
+    def test_theorem4_attribution(self):
+        # Restrict the theorem set so attribution is unambiguous: with
+        # all four enabled, Theorem 1 is tried first and claims the
+        # count-down subscript via the dummy-marker canonicality path.
+        only_t4 = dataclasses.replace(FULL_CFG, theorems=frozenset({4}))
+        telemetry = _compile_logged(_count_down_program(), only_t4)
+        array_records = [r for r in telemetry.decisions.eliminated()
+                         if r.cause == CAUSE_ARRAY]
+        assert array_records
+        hit = set().union(*(r.theorems for r in array_records))
+        assert 4 in hit, f"expected a Theorem 4 hit, got {hit}"
+
+    def test_record_locates_the_instruction(self):
+        telemetry = _compile_logged(_zero_extended_index_program(),
+                                    ARRAY_CFG)
+        for record in telemetry.decisions:
+            assert record.function == "main"
+            assert record.block != "?"
+            assert record.instr_uid > 0
+            assert "extend" in record.instr
+            assert record.width in (8, 16, 32)
+
+
+class TestKeptRecords:
+    def test_kept_extension_is_explained(self):
+        telemetry = _compile_logged(_multiply_index_program(), ARRAY_CFG)
+        kept = telemetry.decisions.kept()
+        assert kept, "the i*2 subscript extension should survive"
+        for record in kept:
+            assert record.verdict == VERDICT_KEPT
+            assert record.cause == CAUSE_REQUIRED
+            assert record.reasons, "a kept extension must carry reasons"
+        # The reason chain names the analysis that required it.
+        joined = " ".join(r for record in kept for r in record.reasons)
+        assert "Analyze" in joined
+
+    def test_verdict_partition(self):
+        telemetry = _compile_logged(_count_down_program(), FULL_CFG)
+        records = list(telemetry.decisions)
+        assert records
+        for record in records:
+            assert record.verdict in (VERDICT_ELIMINATED, VERDICT_KEPT)
+        assert (len(telemetry.decisions.eliminated())
+                + len(telemetry.decisions.kept())) == len(records)
+
+    def test_decisions_match_function_stats(self):
+        telemetry = Telemetry()
+        compiled = compile_program(_count_down_program(), FULL_CFG,
+                                   telemetry=telemetry)
+        stats = compiled.function_stats["main"]
+        assert len(telemetry.decisions) == stats.candidates
+        assert len(telemetry.decisions.eliminated()) == stats.eliminated

@@ -1,0 +1,102 @@
+"""Metrics registry: instruments, labels, merge, export."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        registry.counter("eliminated").inc()
+        registry.counter("eliminated").inc(2)
+        assert registry.counter_value("eliminated") == 3
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("eliminated", width=32).inc(5)
+        registry.counter("eliminated", width=16).inc(1)
+        assert registry.counter_value("eliminated", width=32) == 5
+        assert registry.counter_value("eliminated", width=16) == 1
+        assert registry.counter_value("eliminated") == 0
+
+    def test_counter_family(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", theorem=1).inc(2)
+        registry.counter("hits", theorem=3).inc(1)
+        family = registry.counter_family("hits")
+        assert family == {"hits{theorem=1}": 2, "hits{theorem=3}": 1}
+
+    def test_counters_reject_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("fuel").set(100)
+        registry.gauge("fuel").set(42)
+        assert registry.gauge("fuel").value == 42
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency")
+        for value in (1, 2, 3, 100):
+            h.observe(value)
+        data = h.as_dict()
+        assert data["count"] == 4
+        assert data["sum"] == 106
+        assert data["min"] == 1
+        assert data["max"] == 100
+
+    def test_histogram_power_of_two_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency")
+        h.observe(3)   # -> bucket 4
+        h.observe(4)   # -> bucket 4
+        h.observe(5)   # -> bucket 8
+        assert h.buckets == {4: 2, 8: 1}
+
+
+class TestMerge:
+    def test_merge_sums_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        b.counter("only_b", width=8).inc(4)
+        a.merge(b)
+        assert a.counter_value("n") == 3
+        assert a.counter_value("only_b", width=8) == 4
+
+    def test_merge_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1)
+        b.histogram("h").observe(1000)
+        a.merge(b)
+        data = a.histogram("h").as_dict()
+        assert data["count"] == 2
+        assert data["min"] == 1
+        assert data["max"] == 1000
+
+    def test_merge_keeps_other_gauge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1)
+        b.gauge("g").set(7)
+        a.merge(b)
+        assert a.gauge("g").value == 7
+
+
+class TestExport:
+    def test_as_dict_renders_series_names(self):
+        registry = MetricsRegistry()
+        registry.counter("eliminated", width=32, cause="use").inc(2)
+        registry.gauge("fuel").set(10)
+        registry.histogram("lat").observe(5)
+        data = registry.as_dict()
+        assert data["counters"] == {
+            "eliminated{cause=use,width=32}": 2,
+        }
+        assert data["gauges"] == {"fuel": 10}
+        assert data["histograms"]["lat"]["count"] == 1

@@ -1,0 +1,132 @@
+"""Telemetry plumbing through the compile pipeline and interpreter."""
+
+import dataclasses
+import json
+
+from repro.core import VARIANTS, compile_program
+from repro.interp import Interpreter
+from repro.telemetry import Telemetry, validate_telemetry_document
+from tests.conftest import make_fig7_program
+
+FULL_CFG = VARIANTS["new algorithm (all)"]
+
+
+def _span_names(telemetry):
+    return [span.name for span in telemetry.tracer.walk()]
+
+
+class TestSpans:
+    def test_every_pipeline_phase_has_a_span(self):
+        telemetry = Telemetry()
+        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        names = _span_names(telemetry)
+        for expected in ("compile", "inline", "function:main", "convert64",
+                         "general-opts", "sign-ext", "insertion",
+                         "ordering", "chains", "elimination"):
+            assert expected in names, f"missing span {expected!r}"
+
+    def test_every_opt_pass_has_a_span(self):
+        telemetry = Telemetry()
+        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        names = set(_span_names(telemetry))
+        for pass_name in ("constant-fold", "simplify", "copy-prop", "gcse",
+                          "licm", "copy-prop-cleanup", "dce"):
+            assert pass_name in names, f"missing pass span {pass_name!r}"
+
+    def test_spans_nest_under_compile(self):
+        telemetry = Telemetry()
+        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        assert [root.name for root in telemetry.tracer.roots] == ["compile"]
+        function_spans = [c for c in telemetry.tracer.roots[0].children
+                          if c.name.startswith("function:")]
+        assert function_spans, "function span missing under compile"
+
+
+class TestMetrics:
+    def test_static_before_after(self):
+        telemetry = Telemetry()
+        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+                                   telemetry=telemetry)
+        before = telemetry.metrics.counter_value(
+            "compile.static_extends.before")
+        after = telemetry.metrics.counter_value(
+            "compile.static_extends.after")
+        assert before > after
+        assert after == compiled.static_extend_count
+
+    def test_candidate_and_elimination_counters(self):
+        telemetry = Telemetry()
+        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+                                   telemetry=telemetry)
+        stats = compiled.function_stats["main"]
+        assert telemetry.metrics.counter_value(
+            "signext.candidates") == stats.candidates
+        eliminated = sum(
+            telemetry.metrics.counter_family("signext.eliminated").values()
+        )
+        assert eliminated == stats.eliminated
+
+    def test_interpreter_metrics_sink(self):
+        telemetry = Telemetry()
+        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+                                   telemetry=telemetry)
+        run = Interpreter(compiled.program,
+                          metrics=telemetry.metrics).run()
+        metrics = telemetry.metrics
+        assert metrics.counter_value("runtime.steps") == run.steps
+        dynamic = sum(
+            metrics.counter_family("runtime.extends").values()
+        )
+        assert dynamic == run.total_extends
+        opcodes = metrics.counter_family("runtime.opcodes")
+        assert sum(opcodes.values()) == run.steps
+        assert metrics.gauge("runtime.fuel_remaining").value >= 0
+        assert metrics.histogram("runtime.site_exec_counts").count > 0
+
+
+class TestDisabledTelemetry:
+    def test_stats_identical_with_and_without(self):
+        """The acceptance bar: telemetry off must change nothing the
+        harness counts."""
+        for name in ("baseline", "first algorithm (bwd flow)",
+                     "basic ud/du", "new algorithm (all)"):
+            config = VARIANTS[name]
+            plain = compile_program(make_fig7_program(12), config)
+            telemetry = Telemetry()
+            traced = compile_program(make_fig7_program(12), config,
+                                     telemetry=telemetry)
+            assert plain.static_extend_count == traced.static_extend_count
+            for func_name, stats in plain.function_stats.items():
+                assert dataclasses.asdict(stats) == dataclasses.asdict(
+                    traced.function_stats[func_name]
+                ), f"{name}/{func_name} stats diverged"
+
+    def test_compile_result_telemetry_is_none_by_default(self):
+        compiled = compile_program(make_fig7_program(8), FULL_CFG)
+        assert compiled.telemetry is None
+
+
+class TestDocument:
+    def test_full_document_validates(self):
+        telemetry = Telemetry("doc-test")
+        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+                                   telemetry=telemetry)
+        Interpreter(compiled.program, metrics=telemetry.metrics).run()
+        doc = json.loads(json.dumps(telemetry.to_dict()))
+        assert validate_telemetry_document(doc) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_telemetry_document({}) != []
+        bad = {"schema_version": 1, "trace": {"traceEvents": [{"ph": "?"}]},
+               "spans": [], "metrics": {"counters": {}, "gauges": {},
+                                        "histograms": {}},
+               "decisions": []}
+        assert any("phase" in p for p in validate_telemetry_document(bad))
+
+    def test_write_json(self, tmp_path):
+        telemetry = Telemetry()
+        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        path = tmp_path / "telemetry.json"
+        telemetry.write_json(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_telemetry_document(doc) == []

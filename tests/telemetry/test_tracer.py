@@ -1,0 +1,140 @@
+"""Span tracer: nesting, clocks, and Chrome trace_event export."""
+
+import json
+
+from repro.telemetry import Tracer
+
+
+class _FakeClock:
+    """Deterministic nanosecond clock advancing 1000ns per reading."""
+
+    def __init__(self) -> None:
+        self.now_ns = 0
+
+    def __call__(self) -> int:
+        self.now_ns += 1000
+        return self.now_ns
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            with tracer.span("convert64"):
+                pass
+            with tracer.span("sign-ext"):
+                with tracer.span("insertion"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["compile"]
+        compile_span = tracer.roots[0]
+        assert [c.name for c in compile_span.children] == [
+            "convert64", "sign-ext",
+        ]
+        assert [c.name for c in compile_span.children[1].children] == [
+            "insertion",
+        ]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [root.name for root in tracer.roots] == ["a", "b"]
+
+    def test_walk_depth_first_in_start_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("a1"):
+                pass
+            with tracer.span("a2"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.walk()] == ["a", "a1", "a2", "b"]
+
+    def test_exception_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        inner = tracer.roots[0].children[0]
+        assert inner.duration_us >= 0
+        # The stack fully unwound: a new span is a fresh root.
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "after"]
+
+
+class TestClock:
+    def test_monotonic_timestamps(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock_ns=clock)
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        assert b.start_us >= a.start_us
+        assert a.duration_us >= b.duration_us
+
+    def test_durations_accumulate(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock_ns=clock)
+        with tracer.span("a") as span:
+            clock.now_ns += 5_000_000  # 5ms inside the span
+        assert span.duration_us >= 5000
+
+
+class TestChromeExport:
+    def _trace(self):
+        tracer = Tracer(process_name="unit-test")
+        with tracer.span("compile", program="p"):
+            with tracer.span("convert64"):
+                pass
+        return tracer
+
+    def test_round_trip_through_json(self):
+        tracer = self._trace()
+        doc = json.loads(json.dumps(tracer.to_chrome_trace()))
+        assert "traceEvents" in doc
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "compile" in names and "convert64" in names
+
+    def test_complete_event_shape(self):
+        """Every span event conforms to the about://tracing complete
+        ("X") event contract: integer microsecond ts/dur, pid/tid."""
+        tracer = self._trace()
+        events = tracer.to_chrome_events()
+        assert events, "no events exported"
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int)
+            assert event["dur"] >= 0
+            assert "pid" in event and "tid" in event
+
+    def test_metadata_event_first(self):
+        doc = self._trace().to_chrome_trace()
+        first = doc["traceEvents"][0]
+        assert first["ph"] == "M"
+        assert first["args"]["name"] == "unit-test"
+
+    def test_args_survive_export(self):
+        tracer = self._trace()
+        compile_event = next(e for e in tracer.to_chrome_events()
+                             if e["name"] == "compile")
+        assert compile_event["args"] == {"program": "p"}
+
+    def test_nested_dict_export(self):
+        tracer = self._trace()
+        nested = tracer.to_dict()
+        assert nested[0]["name"] == "compile"
+        assert nested[0]["children"][0]["name"] == "convert64"
+
+    def test_annotate(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            span.annotate(eliminated=3)
+        assert tracer.roots[0].args["eliminated"] == 3

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.telemetry import validate_telemetry_document
 
 SOURCE = """
 double main() {
@@ -75,3 +78,51 @@ class TestBench:
         assert main(["bench", "doom"]) == 1
         err = capsys.readouterr().err
         assert "unknown workload" in err
+
+
+class TestTelemetryFlag:
+    def test_run_writes_telemetry_document(self, source_file, tmp_path,
+                                           capsys):
+        out = tmp_path / "telemetry.json"
+        assert main(["run", source_file, "--telemetry", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_telemetry_document(doc) == []
+        assert doc["label"] == "kernel"
+        # Both compile-time and run-time metrics are present.
+        counters = doc["metrics"]["counters"]
+        assert any(k.startswith("compile.") for k in counters)
+        assert any(k.startswith("runtime.") for k in counters)
+
+    def test_ir_writes_compile_only_telemetry(self, source_file, tmp_path,
+                                              capsys):
+        out = tmp_path / "telemetry.json"
+        assert main(["ir", source_file, "--telemetry", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_telemetry_document(doc) == []
+        counters = doc["metrics"]["counters"]
+        assert not any(k.startswith("runtime.") for k in counters)
+
+
+class TestTrace:
+    def test_trace_writes_chrome_json(self, source_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", source_file, "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {"compile", "sign-ext", "elimination"} <= names
+        for event in complete:
+            assert isinstance(event["ts"], int)
+            assert isinstance(event["dur"], int)
+        text = capsys.readouterr().out
+        assert "decisions" in text
+
+    def test_trace_full_document(self, source_file, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        full = tmp_path / "full.json"
+        assert main(["trace", source_file, "--out", str(trace),
+                     "--full", str(full)]) == 0
+        doc = json.loads(full.read_text())
+        assert validate_telemetry_document(doc) == []
+        assert doc["decisions"], "decision log should not be empty"
