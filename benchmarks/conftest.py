@@ -4,14 +4,24 @@ The full experiment — 17 workloads x 12 variants, every run verified
 against the unoptimized gold execution — is performed once per session
 and shared by all table/figure benchmarks.  Regenerated artifacts are
 written to ``results/`` next to this directory.
+
+Compilation goes through the batch driver; two environment variables
+speed up repeated regenerations:
+
+* ``REPRO_BENCH_JOBS=N``    — compile over N worker processes;
+* ``REPRO_BENCH_CACHE=DIR`` — reuse compilations from a content-
+  addressed cache at DIR (cells whose IR/config/profiles are unchanged
+  skip compilation entirely on the second run).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.driver import BatchCompiler, CompileCache
 from repro.harness import run_suite
 from repro.workloads import jbytemark_workloads, specjvm98_workloads
 
@@ -23,13 +33,24 @@ def pytest_configure(config):
 
 
 @pytest.fixture(scope="session")
-def jbytemark_results():
-    return run_suite(jbytemark_workloads())
+def bench_driver():
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = CompileCache(cache_dir) if cache_dir else None
+    with BatchCompiler(
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache=cache,
+    ) as driver:
+        yield driver
 
 
 @pytest.fixture(scope="session")
-def specjvm98_results():
-    return run_suite(specjvm98_workloads())
+def jbytemark_results(bench_driver):
+    return run_suite(jbytemark_workloads(), driver=bench_driver)
+
+
+@pytest.fixture(scope="session")
+def specjvm98_results(bench_driver):
+    return run_suite(specjvm98_workloads(), driver=bench_driver)
 
 
 def write_artifact(name: str, text: str) -> None:

@@ -8,7 +8,7 @@
 
 import dataclasses
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.interp import Interpreter
 from repro.interp.profiler import collect_branch_profiles
 from repro.machine import IA64, PPC64
@@ -20,7 +20,7 @@ _WORKLOADS = ("numeric_sort", "huffman", "compress")
 
 
 def _dyn(program, config, profiles=None, traits=IA64):
-    compiled = compile_program(program, config.with_traits(traits), profiles)
+    compiled = compile_ir(program, config.with_traits(traits), profiles)
     run = Interpreter(compiled.program, traits=traits,
                       fuel=50_000_000).run()
     return run.extends32

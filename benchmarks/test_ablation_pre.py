@@ -8,7 +8,7 @@ algorithm [13, 14]".  This bench compares their effect on the dynamic
 extension counts that the sign-extension phase then has to deal with.
 """
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.core.convert64 import convert_function
 from repro.interp import Interpreter
 from repro.ir.clone import clone_program
@@ -62,7 +62,7 @@ def test_pre_formulations(benchmark):
         source = get_workload(name).program()
         gold = Interpreter(source, mode="ideal", fuel=50_000_000).run()
 
-        default = compile_program(
+        default = compile_ir(
             source, VARIANTS["baseline"]
         )
         default_run = Interpreter(default.program, fuel=50_000_000).run()
@@ -72,7 +72,7 @@ def test_pre_formulations(benchmark):
         bcm_run = Interpreter(bcm_program, fuel=50_000_000).run()
         assert bcm_run.observable() == gold.observable()
 
-        bare = compile_program(
+        bare = compile_ir(
             source,
             dataclasses.replace(VARIANTS["baseline"], general_opts=False),
         )

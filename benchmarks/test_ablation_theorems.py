@@ -7,7 +7,7 @@ reports residual dynamic extensions on array-heavy workloads.
 
 import dataclasses
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.interp import Interpreter
 from repro.workloads import get_workload
 
@@ -28,7 +28,7 @@ def _dyn(program, theorems):
     config = dataclasses.replace(
         VARIANTS["new algorithm (all)"], theorems=theorems
     )
-    compiled = compile_program(program, config)
+    compiled = compile_ir(program, config)
     run = Interpreter(compiled.program, fuel=50_000_000).run()
     return run.extends32
 

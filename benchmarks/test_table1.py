@@ -6,7 +6,7 @@ compilation of one representative benchmark under the full algorithm
 (the compile-time side of the trade-off the paper reports in Table 3).
 """
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.harness import format_dynamic_count_table
 from repro.workloads import get_workload
 
@@ -23,7 +23,7 @@ def _average_percent(results, variant):
 def test_regenerate_table1(jbytemark_results, benchmark):
     program = get_workload("numeric_sort").program()
     benchmark.pedantic(
-        compile_program,
+        compile_ir,
         args=(program, VARIANTS["new algorithm (all)"]),
         rounds=3,
         iterations=1,

@@ -1,7 +1,7 @@
 """Table 2: dynamic counts of remaining 32-bit sign extensions,
 SPECjvm98."""
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.harness import format_dynamic_count_table
 from repro.workloads import get_workload
 
@@ -16,7 +16,7 @@ def _average_percent(results, variant):
 def test_regenerate_table2(specjvm98_results, benchmark):
     program = get_workload("compress").program()
     benchmark.pedantic(
-        compile_program,
+        compile_ir,
         args=(program, VARIANTS["new algorithm (all)"]),
         rounds=3,
         iterations=1,

@@ -10,7 +10,7 @@ accounted separately because other optimizations also want the chains.
 
 import statistics
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.harness import format_timing_table
 from repro.opt.pass_manager import BUCKET_CHAINS, BUCKET_OTHERS, BUCKET_SIGN_EXT
 from repro.workloads import get_workload
@@ -21,7 +21,7 @@ from conftest import write_artifact
 def test_regenerate_table3(jbytemark_results, specjvm98_results, benchmark):
     program = get_workload("db").program()
     benchmark.pedantic(
-        compile_program,
+        compile_ir,
         args=(program, VARIANTS["new algorithm (all)"]),
         rounds=3,
         iterations=1,

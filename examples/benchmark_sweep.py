@@ -3,23 +3,35 @@
 
 A scaled-down version of what `pytest benchmarks/` does for the full
 suites — useful for a quick look at one benchmark's Table-1 column.
+Pass ``--cache`` to reuse compilations across invocations (the second
+run of the same workload skips all twelve compiles).
 
-Run:  python examples/benchmark_sweep.py [workload]
+Run:  python examples/benchmark_sweep.py [workload] [--cache]
       (default: huffman; try numeric_sort, compress, idea, ...)
 """
 
+import pathlib
 import sys
+
+try:
+    import repro  # the installed package
+except ImportError:  # source checkout without installation: use src/
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    import repro
 
 from repro.harness import (
     format_dynamic_count_table,
     format_performance_figure,
-    run_workload,
 )
 from repro.workloads import JBYTEMARK, SPECJVM98, get_workload
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "huffman"
+    argv = [a for a in sys.argv[1:] if a != "--cache"]
+    use_cache = "--cache" in sys.argv[1:]
+    name = argv[0] if argv else "huffman"
     if name not in JBYTEMARK + SPECJVM98:
         print(f"unknown workload {name!r}; choose from:")
         print("  " + ", ".join(JBYTEMARK + SPECJVM98))
@@ -29,7 +41,10 @@ def main() -> None:
     print(f"{workload.display_name}: {workload.description}")
     print("running all 12 variants (each verified against the gold "
           "run)...\n")
-    results = run_workload(workload)
+    suite = repro.bench(
+        [workload], options=repro.CompileOptions(cache=use_cache)
+    )
+    results = suite.workload(name)
 
     print(format_dynamic_count_table(
         [results], f"Dynamic 32-bit sign extensions: {workload.display_name}"
@@ -39,6 +54,9 @@ def main() -> None:
         [results],
         f"Modelled run-time improvement: {workload.display_name}",
     ))
+    if use_cache:
+        print(f"\n[cache: {suite.cache_hits} hits, "
+              f"{suite.cache_misses} misses]")
 
 
 if __name__ == "__main__":

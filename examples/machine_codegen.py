@@ -12,7 +12,19 @@ prints the assembly-flavoured lowering:
 Run:  python examples/machine_codegen.py
 """
 
-from repro.core import VARIANTS, compile_program
+import pathlib
+import sys
+
+try:
+    import repro  # the installed package
+except ImportError:  # source checkout without installation: use src/
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    import repro  # noqa: F401
+
+from repro import api
+from repro.core import VARIANTS
 from repro.frontend import compile_source
 from repro.interp import Interpreter
 from repro.machine import IA64, PPC64
@@ -41,7 +53,7 @@ def show(title: str, variant: str, traits) -> None:
     print("=" * 72)
     program = compile_source(SOURCE, "codegen")
     config = VARIANTS[variant].with_traits(traits)
-    compiled = compile_program(program, config)
+    compiled = api.compile(program, config=config)
     code = lower_function(compiled.program.main, traits)
     print(code.text)
     interesting = {

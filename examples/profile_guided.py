@@ -14,8 +14,19 @@ Run:  python examples/profile_guided.py
 """
 
 import dataclasses
+import pathlib
+import sys
 
-from repro.core import VARIANTS, compile_program
+try:
+    import repro  # the installed package
+except ImportError:  # source checkout without installation: use src/
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    import repro  # noqa: F401
+
+from repro import api
+from repro.core import VARIANTS
 from repro.frontend import compile_source
 from repro.interp import Interpreter, collect_branch_profiles
 
@@ -43,7 +54,7 @@ void main() {
 
 
 def run_variant(program, config, profiles=None) -> int:
-    compiled = compile_program(program, config, profiles)
+    compiled = api.compile(program, config=config, profiles=profiles)
     run = Interpreter(compiled.program).run()
     return run.extends32
 

@@ -10,7 +10,19 @@ behaves identically.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import VARIANTS, compile_program
+import pathlib
+import sys
+
+try:
+    import repro  # the installed package
+except ImportError:  # source checkout without installation: use src/
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+    import repro  # noqa: F401
+
+from repro import api
+from repro.core import VARIANTS
 from repro.frontend import compile_source
 from repro.interp import Interpreter
 from repro.ir import format_function
@@ -51,7 +63,7 @@ def main() -> None:
     print("=" * 72)
     print("Baseline 64-bit conversion (extensions after every definition)")
     print("=" * 72)
-    baseline = compile_program(program, VARIANTS["baseline"])
+    baseline = api.compile(program, config=VARIANTS["baseline"])
     print(format_function(baseline.program.main))
     base_run = Interpreter(baseline.program).run()
     print(f"\ndynamic 32-bit extensions: {base_run.extends32}\n")
@@ -59,7 +71,7 @@ def main() -> None:
     print("=" * 72)
     print("The paper's full algorithm (insert + order + array theorems)")
     print("=" * 72)
-    best = compile_program(program, VARIANTS["new algorithm (all)"])
+    best = api.compile(program, config=VARIANTS["new algorithm (all)"])
     print(format_function(best.program.main))
     best_run = Interpreter(best.program).run()
     print(f"\ndynamic 32-bit extensions: {best_run.extends32}")
@@ -72,7 +84,7 @@ def main() -> None:
 
     print("\nAll twelve variants (the rows of the paper's Tables 1/2):")
     for name, config in VARIANTS.items():
-        compiled = compile_program(program, config)
+        compiled = api.compile(program, config=config)
         run = Interpreter(compiled.program).run()
         assert run.observable() == gold.observable(), name
         bar = "#" * int(40 * run.extends32 / max(base_run.extends32, 1))

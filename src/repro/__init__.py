@@ -1,12 +1,54 @@
 """repro — a faithful reimplementation of "Effective Sign Extension
 Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
 
-Public entry points:
+The supported public surface is the :mod:`repro.api` facade, re-exported
+here::
+
+    import repro
+
+    result = repro.compile("kernel.j32")          # CompileResult
+    outcome = repro.run("kernel.j32")             # RunResult (verified)
+    suite = repro.bench(["huffman"],              # SuiteResult
+                        options=repro.CompileOptions(jobs=2, cache=True))
+
+Lower layers stay importable for IR-level work:
 
 * :mod:`repro.frontend` — compile a Java-like mini language to the IR.
 * :mod:`repro.core` — the paper's sign-extension elimination pipeline.
+* :mod:`repro.driver` — batch compilation: compile cache + process pool.
 * :mod:`repro.interp` — machine-faithful execution and measurement.
 * :mod:`repro.harness` — regenerate the paper's tables and figures.
+
+``compile_program`` and ``run_workload`` are the pre-facade entry
+points; they still work but raise :class:`DeprecationWarning` (see
+docs/API.md for the deprecation policy).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .api import (  # noqa: E402
+    CompileOptions,
+    CompileResult,
+    RunResult,
+    SuiteResult,
+    bench,
+    compile,
+    run,
+)
+from .core import SignExtConfig, VARIANTS, compile_program  # noqa: E402
+from .harness import run_workload  # noqa: E402
+
+__all__ = [
+    "CompileOptions",
+    "CompileResult",
+    "RunResult",
+    "SignExtConfig",
+    "SuiteResult",
+    "VARIANTS",
+    "__version__",
+    "bench",
+    "compile",
+    "compile_program",
+    "run",
+    "run_workload",
+]

@@ -1,0 +1,249 @@
+"""The stable public facade of the reproduction.
+
+Three verbs cover everything external callers do::
+
+    import repro
+
+    result = repro.compile("kernel.j32")          # -> CompileResult
+    outcome = repro.run("kernel.j32")             # -> RunResult
+    suite = repro.bench(["huffman", "compress"])  # -> SuiteResult
+
+Each takes an optional :class:`~repro.core.config.CompileOptions`
+(variant, machine, fuel, telemetry, ``jobs``/``cache`` driver knobs) so
+call sites no longer thread loose keyword arguments around.  ``source``
+may be a :class:`~repro.ir.function.Program`, a path to a ``.j32``
+file, or J32 source text — whatever is most convenient.
+
+Everything below this facade (``repro.core``, ``repro.harness``,
+``repro.driver``) remains importable for IR-level work, but only the
+names exported here are covered by the deprecation policy documented
+in docs/API.md.  The pre-facade entry points ``compile_program`` and
+``run_workload`` still exist as thin aliases that raise
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from .analysis.frequency import BranchProfile
+from .core.config import CompileOptions, SignExtConfig
+from .core.pipeline import CompileResult, compile_ir
+from .driver import BatchCompiler, CompileCache, CompileJob, default_cache_dir
+from .frontend import compile_source
+from .harness import (
+    SoundnessError,
+    WorkloadResults,
+    results_to_dict,
+    run_suite,
+)
+from .interp import Interpreter
+from .ir.function import Program
+from .machine.costs import CycleReport, count_cycles
+from .telemetry import Telemetry
+from .workloads import Workload, get_workload
+
+__all__ = [
+    "CompileOptions",
+    "CompileResult",
+    "RunResult",
+    "SuiteResult",
+    "bench",
+    "compile",
+    "driver_from_options",
+    "run",
+]
+
+
+def _coerce_program(source: Program | str | Path,
+                    name: str = "program") -> Program:
+    """Accept a Program, a ``.j32`` path, or J32 source text."""
+    if isinstance(source, Program):
+        return source
+    if isinstance(source, Path):
+        return compile_source(source.read_text(), source.stem)
+    if isinstance(source, str):
+        # A path if it plausibly is one and exists; source text otherwise.
+        if "\n" not in source:
+            candidate = Path(source)
+            if candidate.exists():
+                return compile_source(candidate.read_text(), candidate.stem)
+            if source.endswith(".j32"):
+                raise FileNotFoundError(source)
+        return compile_source(source, name)
+    raise TypeError(f"cannot compile {type(source).__name__}")
+
+
+def driver_from_options(
+    options: CompileOptions,
+    *,
+    telemetry: Telemetry | None = None,
+) -> BatchCompiler:
+    """The :class:`BatchCompiler` an options object describes."""
+    cache = None
+    if options.cache:
+        cache_dir = (Path(options.cache_dir) if options.cache_dir
+                     else default_cache_dir())
+        cache = CompileCache(cache_dir)
+    return BatchCompiler(
+        jobs=options.jobs,
+        cache=cache,
+        timeout=options.timeout,
+        metrics=cache.metrics if cache is not None else None,
+        telemetry=telemetry,
+    )
+
+
+def compile(
+    source: Program | str | Path,
+    options: CompileOptions | None = None,
+    *,
+    config: SignExtConfig | None = None,
+    profiles: dict[str, BranchProfile] | None = None,
+) -> CompileResult:
+    """Compile ``source`` and return the optimized program + statistics.
+
+    ``config`` overrides the variant/machine the options select (for
+    ablation-style custom :class:`SignExtConfig` objects); ``profiles``
+    supplies branch profiles for order determination.
+    """
+    options = options if options is not None else CompileOptions()
+    program = _coerce_program(source)
+    cfg = config if config is not None else options.config()
+
+    if options.cache or options.jobs > 1:
+        with driver_from_options(options) as driver:
+            return driver.compile_one(CompileJob(
+                label=program.name,
+                program=program,
+                config=cfg,
+                profiles=profiles,
+                collect_telemetry=options.telemetry,
+            ))
+    telemetry = Telemetry(label=program.name) if options.telemetry else None
+    return compile_ir(program, cfg, profiles, clone=options.clone,
+                      telemetry=telemetry)
+
+
+@dataclass
+class RunResult:
+    """One compile-and-execute, verified against the unoptimized run."""
+
+    compile: CompileResult
+    ret_value: int | float | None
+    checksum: int
+    steps: int
+    extend_counts: dict[int, int]
+    cycles: CycleReport
+    gold_checksum: int
+    #: soundness check passed (``run`` raises otherwise, so always True)
+    verified: bool = True
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        return self.compile.telemetry
+
+
+def run(
+    source: Program | str | Path,
+    options: CompileOptions | None = None,
+    *,
+    config: SignExtConfig | None = None,
+) -> RunResult:
+    """Compile ``source``, execute it, and verify observable behaviour.
+
+    Raises :class:`~repro.harness.SoundnessError` if the optimized
+    program's observable behaviour diverges from the unoptimized gold
+    run.
+    """
+    options = options if options is not None else CompileOptions()
+    program = _coerce_program(source)
+    traits = config.traits if config is not None else options.traits()
+
+    gold = Interpreter(program, mode="ideal", fuel=options.fuel).run()
+    compiled = compile(program, options, config=config)
+    metrics = (compiled.telemetry.metrics
+               if compiled.telemetry is not None else None)
+    execution = Interpreter(compiled.program, traits=traits,
+                            fuel=options.fuel, metrics=metrics).run()
+    if execution.observable() != gold.observable():
+        raise SoundnessError(
+            f"{program.name}: observable behaviour changed "
+            f"(gold {gold.observable()} vs {execution.observable()})"
+        )
+    return RunResult(
+        compile=compiled,
+        ret_value=execution.ret_value,
+        checksum=execution.checksum,
+        steps=execution.steps,
+        extend_counts=dict(execution.extend_counts),
+        cycles=count_cycles(compiled.program, execution, traits),
+        gold_checksum=gold.checksum,
+    )
+
+
+@dataclass
+class SuiteResult:
+    """A benchmark sweep plus the driver statistics it accumulated."""
+
+    results: list[WorkloadResults]
+    driver_stats: dict[str, int] = field(default_factory=dict)
+
+    def workload(self, name: str) -> WorkloadResults:
+        for result in self.results:
+            if result.workload.name == name:
+                return result
+        raise KeyError(name)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.driver_stats.get("hits", 0)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.driver_stats.get("misses", 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return results_to_dict(self.results)
+
+    def write_json(self, path: str | Path) -> None:
+        from .harness import export_json
+
+        export_json(self.results, str(path))
+
+
+def bench(
+    workloads: Iterable[Workload | str] | None = None,
+    variants: dict[str, SignExtConfig] | None = None,
+    options: CompileOptions | None = None,
+) -> SuiteResult:
+    """Sweep ``workloads`` × ``variants`` through the batch driver.
+
+    ``workloads`` accepts :class:`Workload` objects or registry names
+    (``None`` means the full 17-workload grid); ``variants`` defaults
+    to the paper's twelve table rows.  ``options.jobs`` and
+    ``options.cache`` turn on parallel compilation and the compile
+    cache; every cell is still verified against its gold run.
+    """
+    from .workloads import all_workloads
+
+    options = options if options is not None else CompileOptions()
+    if workloads is None:
+        resolved = all_workloads()
+    else:
+        resolved = [
+            w if isinstance(w, Workload) else get_workload(w)
+            for w in workloads
+        ]
+    with driver_from_options(options) as driver:
+        results = run_suite(
+            resolved,
+            variants,
+            traits=options.traits(),
+            fuel=options.fuel,
+            collect_telemetry=options.telemetry,
+            driver=driver,
+        )
+        return SuiteResult(results=results, driver_stats=driver.stats())

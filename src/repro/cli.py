@@ -7,8 +7,15 @@ Usage::
     python -m repro ir program.j32             # dump optimized IR
     python -m repro asm program.j32 --machine ppc64
     python -m repro variants program.j32       # all 12 table rows
-    python -m repro bench huffman              # one workload sweep
+    python -m repro compile a.j32 b.j32 --jobs 2 --cache
+    python -m repro bench huffman --jobs 2 --cache
     python -m repro trace program.j32 --out trace.json   # about://tracing
+
+Every subcommand builds one :class:`repro.CompileOptions` from its
+flags (`CompileOptions.from_cli_args`) and goes through the
+:mod:`repro.api` facade; ``--jobs N`` fans compilation out over worker
+processes and ``--cache`` reuses prior compilations from the
+content-addressed cache (``--cache-dir``, default ``~/.cache/repro``).
 
 Every optimized execution is checked against the unoptimized gold run.
 """
@@ -20,12 +27,12 @@ import json
 import pathlib
 import sys
 
-from .core import VARIANTS, compile_program
+from . import api
+from .core import DEFAULT_VARIANT, VARIANTS
+from .core.config import CompileOptions
 from .frontend import compile_source
-from .interp import Interpreter
 from .ir import format_program
 from .machine import MACHINES
-from .machine.costs import count_cycles
 from .machine.lower import lower_function
 from .telemetry import Telemetry
 
@@ -35,9 +42,9 @@ def _load(path: str):
     return compile_source(source, pathlib.Path(path).stem)
 
 
-def _common_args(parser: argparse.ArgumentParser,
-                 telemetry: bool = False) -> None:
-    parser.add_argument("--variant", default="new algorithm (all)",
+def _common_args(parser: argparse.ArgumentParser, *,
+                 telemetry: bool = False, driver: bool = False) -> None:
+    parser.add_argument("--variant", default=DEFAULT_VARIANT,
                         choices=sorted(VARIANTS),
                         help="optimization variant (a Table 1/2 row)")
     parser.add_argument("--machine", default="ia64",
@@ -48,67 +55,104 @@ def _common_args(parser: argparse.ArgumentParser,
         parser.add_argument("--telemetry", default=None, metavar="OUT.JSON",
                             help="write the full telemetry document "
                                  "(spans, metrics, decision log) here")
+    if driver:
+        _driver_args(parser)
 
 
-def _make_telemetry(args: argparse.Namespace) -> Telemetry | None:
-    if getattr(args, "telemetry", None) is None:
-        return None
-    return Telemetry(label=pathlib.Path(args.file).stem)
+def _driver_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("batch driver")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="compile over N worker processes")
+    group.add_argument("--cache", action="store_true",
+                       help="reuse compilations from the compile cache")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default ~/.cache/repro)")
+    group.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-job pool timeout before in-process "
+                            "fallback")
+    group.add_argument("--stats", default=None, metavar="OUT.JSON",
+                       help="write driver cache/pool counters here")
 
 
 def _finish_telemetry(args: argparse.Namespace,
                       telemetry: Telemetry | None) -> None:
-    if telemetry is None:
+    if telemetry is None or getattr(args, "telemetry", None) is None:
         return
     telemetry.write_json(args.telemetry)
     print(f"[telemetry written to {args.telemetry}]")
 
 
+def _finish_stats(args: argparse.Namespace, stats: dict) -> None:
+    if getattr(args, "stats", None):
+        with open(args.stats, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[driver stats written to {args.stats}]")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    program = _load(args.file)
-    traits = MACHINES[args.machine]
-    gold = Interpreter(program, mode="ideal", fuel=args.fuel).run()
-    config = VARIANTS[args.variant].with_traits(traits)
-    telemetry = _make_telemetry(args)
-    compiled = compile_program(program, config, telemetry=telemetry)
-    run = Interpreter(
-        compiled.program, traits=traits, fuel=args.fuel,
-        metrics=telemetry.metrics if telemetry is not None else None,
-    ).run()
-    if run.observable() != gold.observable():
+    options = CompileOptions.from_cli_args(args)
+    try:
+        outcome = api.run(_load(args.file), options)
+    except api.SoundnessError:
         print("ERROR: optimized behaviour diverged from gold run",
               file=sys.stderr)
         return 1
-    cycles = count_cycles(compiled.program, run, traits)
-    print(f"result    : {run.ret_value}")
-    print(f"checksum  : {run.checksum:#018x} (verified against gold)")
-    print(f"steps     : {run.steps}")
-    print(f"extends   : 32-bit {run.extend_counts[32]}, "
-          f"16-bit {run.extend_counts[16]}, 8-bit {run.extend_counts[8]}")
-    print(f"cycles    : {cycles.total:.0f} modelled "
-          f"({cycles.extend_cycles:.0f} in sign extensions)")
-    _finish_telemetry(args, telemetry)
+    print(f"result    : {outcome.ret_value}")
+    print(f"checksum  : {outcome.checksum:#018x} (verified against gold)")
+    print(f"steps     : {outcome.steps}")
+    print(f"extends   : 32-bit {outcome.extend_counts[32]}, "
+          f"16-bit {outcome.extend_counts[16]}, "
+          f"8-bit {outcome.extend_counts[8]}")
+    print(f"cycles    : {outcome.cycles.total:.0f} modelled "
+          f"({outcome.cycles.extend_cycles:.0f} in sign extensions)")
+    _finish_telemetry(args, outcome.telemetry)
     return 0
 
 
 def cmd_ir(args: argparse.Namespace) -> int:
-    program = _load(args.file)
-    traits = MACHINES[args.machine]
-    config = VARIANTS[args.variant].with_traits(traits)
-    telemetry = _make_telemetry(args)
-    compiled = compile_program(program, config, telemetry=telemetry)
+    options = CompileOptions.from_cli_args(args)
+    compiled = api.compile(_load(args.file), options)
     print(format_program(compiled.program))
-    _finish_telemetry(args, telemetry)
+    _finish_telemetry(args, compiled.telemetry)
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Batch-compile files through the cache-aware parallel driver."""
+    from .driver import CompileJob
+
+    options = CompileOptions.from_cli_args(args)
+    config = options.config()
+    jobs = []
+    for path in args.files:
+        program = _load(path)
+        jobs.append(CompileJob(label=program.name, program=program,
+                               config=config))
+    with api.driver_from_options(options) as driver:
+        results = driver.compile_batch(jobs)
+        stats = driver.stats()
+    for path, compiled in zip(args.files, results):
+        print(f"{path:30s} extends {compiled.static_extend_count:>5d}  "
+              f"eliminated {compiled.total_eliminated:>5d}  "
+              f"compile {compiled.timing.total()*1000:>8.2f} ms")
+    if options.cache:
+        print(f"[cache: {stats.get('hits', 0)} hits, "
+              f"{stats.get('misses', 0)} misses]")
+    _finish_stats(args, stats)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """Compile + execute under full telemetry; write a Chrome trace."""
+    from .core.pipeline import compile_ir
+    from .interp import Interpreter
+
     program = _load(args.file)
     traits = MACHINES[args.machine]
     config = VARIANTS[args.variant].with_traits(traits)
     telemetry = Telemetry(label=pathlib.Path(args.file).stem)
-    compiled = compile_program(program, config, telemetry=telemetry)
+    compiled = compile_ir(program, config, telemetry=telemetry)
     run = Interpreter(compiled.program, traits=traits, fuel=args.fuel,
                       metrics=telemetry.metrics).run()
 
@@ -133,10 +177,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_asm(args: argparse.Namespace) -> int:
-    program = _load(args.file)
-    traits = MACHINES[args.machine]
-    config = VARIANTS[args.variant].with_traits(traits)
-    compiled = compile_program(program, config)
+    options = CompileOptions.from_cli_args(args)
+    traits = options.traits()
+    compiled = api.compile(_load(args.file), options)
     for func in compiled.program.functions.values():
         code = lower_function(func, traits)
         print(code.text)
@@ -145,6 +188,9 @@ def cmd_asm(args: argparse.Namespace) -> int:
 
 
 def cmd_variants(args: argparse.Namespace) -> int:
+    from .interp import Interpreter
+    from .machine.costs import count_cycles
+
     program = _load(args.file)
     traits = MACHINES[args.machine]
     gold = Interpreter(program, mode="ideal", fuel=args.fuel).run()
@@ -152,7 +198,7 @@ def cmd_variants(args: argparse.Namespace) -> int:
     print(f"{'variant':30s}{'dyn ext32':>12s}{'% of base':>12s}"
           f"{'cycles':>14s}")
     for name, config in VARIANTS.items():
-        compiled = compile_program(program, config.with_traits(traits))
+        compiled = api.compile(program, config=config.with_traits(traits))
         run = Interpreter(compiled.program, traits=traits,
                           fuel=args.fuel).run()
         if run.observable() != gold.observable():
@@ -168,27 +214,26 @@ def cmd_variants(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .harness import (
-        export_json,
-        format_dynamic_count_table,
-        run_workload,
-    )
-    from .workloads import JBYTEMARK, SPECJVM98, get_workload
+    from .harness import export_json, format_dynamic_count_table
+    from .workloads import JBYTEMARK, SPECJVM98
 
     if args.workload not in JBYTEMARK + SPECJVM98:
         print(f"unknown workload {args.workload!r}; available: "
               + ", ".join(JBYTEMARK + SPECJVM98), file=sys.stderr)
         return 1
-    collect = args.telemetry is not None
-    results = run_workload(get_workload(args.workload),
-                           collect_telemetry=collect)
+    options = CompileOptions.from_cli_args(args)
+    suite = api.bench([args.workload], options=options)
+    results = suite.workload(args.workload)
     print(format_dynamic_count_table(
         [results], f"Dynamic 32-bit sign extensions: {args.workload}"
     ))
     if args.json:
         export_json([results], args.json)
         print(f"\n[json written to {args.json}]")
-    if collect:
+    if options.cache:
+        print(f"[cache: {suite.cache_hits} hits, "
+              f"{suite.cache_misses} misses]")
+    if args.telemetry is not None:
         document = {
             "workload": args.workload,
             "variants": {
@@ -200,31 +245,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"[telemetry written to {args.telemetry}]")
+    _finish_stats(args, suite.driver_stats)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a whole suite and write tables, figures, and JSON."""
-    import pathlib as _pathlib
-
     from .harness import (
         export_json,
         format_dynamic_count_table,
         format_percent_figure,
         format_performance_figure,
         format_timing_table,
-        run_suite,
     )
-    from .workloads import jbytemark_workloads, specjvm98_workloads
+    from .workloads import JBYTEMARK, SPECJVM98
 
-    suites = {
-        "jbytemark": jbytemark_workloads,
-        "specjvm98": specjvm98_workloads,
-    }
-    out_dir = _pathlib.Path(args.out)
+    suites = {"jbytemark": JBYTEMARK, "specjvm98": SPECJVM98}
+    options = CompileOptions.from_cli_args(args)
+    out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     for suite_name in (args.suite,) if args.suite else tuple(suites):
-        results = run_suite(suites[suite_name]())
+        suite = api.bench(suites[suite_name], options=options)
+        results = suite.results
         sections = [
             format_dynamic_count_table(
                 results, f"Dynamic 32-bit sign extensions ({suite_name})"
@@ -241,6 +283,9 @@ def cmd_report(args: argparse.Namespace) -> int:
         text_path.write_text("\n\n".join(sections) + "\n")
         export_json(results, str(out_dir / f"{suite_name}.json"))
         print(f"wrote {text_path} and {suite_name}.json")
+        if options.cache:
+            print(f"[cache: {suite.cache_hits} hits, "
+                  f"{suite.cache_misses} misses]")
     return 0
 
 
@@ -261,6 +306,14 @@ def main(argv: list[str] | None = None) -> int:
     ir_parser.add_argument("file")
     _common_args(ir_parser, telemetry=True)
     ir_parser.set_defaults(fn=cmd_ir)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="batch-compile files through the parallel, "
+                        "cache-aware driver"
+    )
+    compile_parser.add_argument("files", nargs="+", metavar="FILE")
+    _common_args(compile_parser, driver=True)
+    compile_parser.set_defaults(fn=cmd_compile)
 
     trace_parser = subparsers.add_parser(
         "trace", help="compile + run under full telemetry; write a "
@@ -298,6 +351,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--telemetry", default=None,
                               metavar="OUT.JSON",
                               help="collect + write per-variant telemetry")
+    _driver_args(bench_parser)
     bench_parser.set_defaults(fn=cmd_bench)
 
     report_parser = subparsers.add_parser(
@@ -308,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
                                help="one suite (default: both)")
     report_parser.add_argument("--out", default="report",
                                help="output directory")
+    _driver_args(report_parser)
     report_parser.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)

@@ -1,12 +1,16 @@
 """The paper's contribution: sign-extension elimination.
 
-Entry point: :func:`compile_program` with a :class:`SignExtConfig`
-(pick one from :data:`VARIANTS` to reproduce a table row).
+Entry point: :func:`compile_ir` with a :class:`SignExtConfig` (pick
+one from :data:`VARIANTS` to reproduce a table row), or the
+:mod:`repro.api` facade one level up.  :func:`compile_program` is the
+deprecated historical name.
 """
 
 from .analyze import Eliminator
 from .config import (
     Algorithm,
+    CompileOptions,
+    DEFAULT_VARIANT,
     Placement,
     REFERENCE_VARIANTS,
     SignExtConfig,
@@ -23,17 +27,20 @@ from .insertion import (
 )
 from .ordering import is_candidate_extend, order_candidates
 from .pde_insertion import run_pde_insertion
-from .pipeline import CompileResult, compile_program
+from .pipeline import CompileResult, compile_ir, compile_program
 
 __all__ = [
     "Algorithm",
+    "CompileOptions",
     "CompileResult",
     "Eliminator",
     "FunctionStats",
     "Placement",
     "REFERENCE_VARIANTS",
+    "DEFAULT_VARIANT",
     "SignExtConfig",
     "VARIANTS",
+    "compile_ir",
     "compile_program",
     "convert_function",
     "convert_program",

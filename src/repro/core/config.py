@@ -81,3 +81,78 @@ VARIANTS: dict[str, SignExtConfig] = {
 
 #: Rows the paper marks as reference-only.
 REFERENCE_VARIANTS = frozenset({"gen use", "all, using PDE"})
+
+#: The paper's headline configuration; the default everywhere.
+DEFAULT_VARIANT = "new algorithm (all)"
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Every knob a driver-level entry point accepts, in one object.
+
+    This replaces the keyword plumbing that used to be re-invented per
+    call site (``profiles=``/``clone=``/``telemetry=`` on
+    ``compile_program``, ``collect_telemetry=`` on the harness, and one
+    argparse wiring per CLI subcommand).  :class:`SignExtConfig` stays
+    the *pipeline* configuration — what code gets generated;
+    ``CompileOptions`` is the *invocation* configuration — how the
+    compilation is driven.
+    """
+
+    #: variant name from :data:`VARIANTS` (a Table 1/2 row)
+    variant: str = DEFAULT_VARIANT
+    #: target machine name from :data:`repro.machine.MACHINES`
+    machine: str = "ia64"
+    #: interpreter step budget for executions the entry point performs
+    fuel: int = 100_000_000
+    #: collect full telemetry (spans, metrics, decision log)
+    telemetry: bool = False
+    #: process-pool width for batch compilation (1 = in-process)
+    jobs: int = 1
+    #: consult/populate the content-addressed compile cache
+    cache: bool = False
+    #: on-disk cache tier location (``None`` = ``~/.cache/repro``)
+    cache_dir: str | None = None
+    #: seconds before a pool job falls back to in-process compilation
+    timeout: float | None = None
+    #: clone the input program before compiling (disable only when the
+    #: caller owns the program outright and wants it consumed in place)
+    clone: bool = True
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(f"unknown variant: {self.variant!r}")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    @classmethod
+    def from_cli_args(cls, args) -> "CompileOptions":
+        """Build options from an ``argparse`` namespace.
+
+        Subcommands share one flag vocabulary (``--variant``,
+        ``--machine``, ``--fuel``, ``--telemetry``, ``--jobs``,
+        ``--cache``, ``--cache-dir``, ``--timeout``); any flag a
+        subcommand does not define simply keeps its default here.
+        """
+        defaults = cls()
+        # --telemetry is a bool on some subcommands and an output path
+        # on others; either way truthiness means "collect telemetry".
+        return cls(
+            variant=getattr(args, "variant", defaults.variant),
+            machine=getattr(args, "machine", defaults.machine),
+            fuel=getattr(args, "fuel", defaults.fuel),
+            telemetry=bool(getattr(args, "telemetry", None)),
+            jobs=getattr(args, "jobs", defaults.jobs),
+            cache=bool(getattr(args, "cache", defaults.cache)),
+            cache_dir=getattr(args, "cache_dir", defaults.cache_dir),
+            timeout=getattr(args, "timeout", defaults.timeout),
+        )
+
+    def traits(self) -> MachineTraits:
+        from ..machine import MACHINES
+
+        return MACHINES[self.machine]
+
+    def config(self) -> SignExtConfig:
+        """The :class:`SignExtConfig` these options select."""
+        return VARIANTS[self.variant].with_traits(self.traits())

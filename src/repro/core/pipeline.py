@@ -6,9 +6,14 @@
 (3) elimination and movement of sign extension
     ((3)-1 insertion, (3)-2 order determination, (3)-3 elimination).
 
-``compile_program`` clones the input (the same 32-bit-form source is
+``compile_ir`` clones the input (the same 32-bit-form source is
 compiled under many variant configurations by the harness) and returns
-the compiled program plus timing and per-function statistics.
+the compiled program plus timing and per-function statistics.  It is a
+pure function of ``(source, config, profiles)`` — no global state, no
+I/O — which is what lets :mod:`repro.driver` memoize it in a
+content-addressed cache and fan it out over worker processes.  The
+historical name ``compile_program`` remains as a deprecated alias; new
+code should call :func:`repro.api.compile` or ``compile_ir``.
 
 Pass ``telemetry=`` a :class:`~repro.telemetry.Telemetry` object to
 additionally record a span per phase and per optimization pass, static
@@ -85,7 +90,7 @@ def _count_static_extends(program: Program) -> int:
     return total
 
 
-def compile_program(
+def compile_ir(
     source: Program,
     config: SignExtConfig,
     profiles: dict[str, BranchProfile] | None = None,
@@ -134,6 +139,31 @@ def compile_program(
             sum(s.eliminated for s in stats.values())
         )
     return CompileResult(program, config, timing, stats, telemetry)
+
+
+def compile_program(
+    source: Program,
+    config: SignExtConfig,
+    profiles: dict[str, BranchProfile] | None = None,
+    *,
+    clone: bool = True,
+    telemetry: Telemetry | None = None,
+) -> CompileResult:
+    """Deprecated alias of :func:`compile_ir`.
+
+    Prefer the :mod:`repro.api` facade (``repro.api.compile``) or, for
+    IR-level work, :func:`compile_ir`.
+    """
+    import warnings
+
+    warnings.warn(
+        "compile_program() is deprecated; use repro.api.compile() or "
+        "repro.core.compile_ir()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return compile_ir(source, config, profiles, clone=clone,
+                      telemetry=telemetry)
 
 
 def _compile_function(

@@ -1,0 +1,49 @@
+"""Batch-compilation driver: content-addressed caching + process pool.
+
+The driver separates the *pure* compilation function
+(:func:`repro.core.pipeline.compile_ir`) from the *effectful* concerns
+of running many compilations — memoization, parallelism, timeouts,
+crash recovery — the same split the JIT literature uses between the
+compile function and its queueing/caching runtime.
+
+Typical use::
+
+    from repro.driver import BatchCompiler, CompileCache, CompileJob
+
+    cache = CompileCache(cache_dir)          # or CompileCache() in-memory
+    with BatchCompiler(jobs=4, cache=cache) as driver:
+        results = driver.compile_batch([
+            CompileJob(label=name, program=prog, config=cfg)
+            for name, cfg in VARIANTS.items()
+        ])
+
+``harness.run_suite``, ``repro.api.bench``, and the ``repro compile`` /
+``repro bench --jobs N --cache`` CLI paths are all built on this.
+"""
+
+from .batch import BatchCompiler, CompileJob
+from .cache import (
+    CacheEntry,
+    CompileCache,
+    DEFAULT_MEMORY_ENTRIES,
+    default_cache_dir,
+)
+from .fingerprint import (
+    cache_key,
+    fingerprint_config,
+    fingerprint_profiles,
+    fingerprint_program,
+)
+
+__all__ = [
+    "BatchCompiler",
+    "CacheEntry",
+    "CompileCache",
+    "CompileJob",
+    "DEFAULT_MEMORY_ENTRIES",
+    "cache_key",
+    "default_cache_dir",
+    "fingerprint_config",
+    "fingerprint_profiles",
+    "fingerprint_program",
+]

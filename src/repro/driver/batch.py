@@ -1,0 +1,261 @@
+"""Parallel batch compilation over a process pool.
+
+Compilation is a pure, CPU-bound function of ``(program, config,
+profiles)`` — see :func:`repro.core.pipeline.compile_ir` — which makes
+it embarrassingly parallel across the harness grid and trivially
+memoizable.  :class:`BatchCompiler` exploits both:
+
+* every job is first resolved against the :class:`CompileCache` (when
+  one is attached), so warm re-runs never recompile;
+* cache misses fan out over a ``multiprocessing`` process pool
+  (processes, not threads: the pipeline never releases the GIL), with
+  results re-assembled in job order so the caller sees deterministic
+  output regardless of completion order;
+* a per-job timeout, a crashed worker, or any worker-side exception
+  degrades that one job to in-process compilation — the batch always
+  completes, a flaky pool can only cost time, never results.
+
+Worker-side telemetry objects travel back over the pipe and are merged
+into the driver's parent :class:`~repro.telemetry.Telemetry`, so one
+trace covers a whole parallel batch.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.frequency import BranchProfile
+from ..core.config import SignExtConfig
+from ..core.pipeline import CompileResult, compile_ir
+from ..ir.function import Program
+from ..telemetry import Telemetry
+from ..telemetry.metrics import MetricsRegistry
+from .cache import CacheEntry, CompileCache
+from .fingerprint import cache_key
+
+
+@dataclass
+class CompileJob:
+    """One cell of work: compile ``program`` under ``config``.
+
+    ``program_fingerprint`` optionally carries a precomputed IR digest
+    (the harness hashes each workload once for its twelve variants).
+    ``simulate_crash``/``simulate_delay`` are test hooks honoured only
+    inside pool workers — never in-process — so the fallback paths can
+    be exercised deterministically.
+    """
+
+    label: str
+    program: Program
+    config: SignExtConfig
+    profiles: dict[str, BranchProfile] | None = None
+    collect_telemetry: bool = False
+    program_fingerprint: str | None = None
+    simulate_crash: bool = field(default=False, repr=False)
+    simulate_delay: float = field(default=0.0, repr=False)
+
+
+def _compile_job_in_worker(job: CompileJob) -> CompileResult:
+    """Pool worker entry point (module-level so it pickles by name)."""
+    if job.simulate_crash:  # test hook: die without cleanup
+        os._exit(13)
+    if job.simulate_delay:
+        time.sleep(job.simulate_delay)
+    telemetry = Telemetry(label=job.label) if job.collect_telemetry else None
+    # The job arrived over a pickle boundary, so this process owns the
+    # program outright — no defensive clone needed.
+    return compile_ir(job.program, job.config, job.profiles,
+                      clone=False, telemetry=telemetry)
+
+
+class BatchCompiler:
+    """Cache-aware, pool-backed driver for lists of compile jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Pool width.  ``1`` (the default) never spawns processes.
+    cache:
+        Optional :class:`CompileCache` consulted before any compilation
+        and updated after every miss.
+    timeout:
+        Per-job seconds before a pool result is abandoned and the job
+        is recompiled in-process.  ``None`` waits forever.
+    metrics:
+        Telemetry registry receiving the ``driver.pool.*`` counters.
+    telemetry:
+        Optional parent :class:`Telemetry`; per-job telemetry collected
+        in workers is merged into it.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: CompileCache | None = None,
+        timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.metrics = metrics if metrics is not None else (
+            cache.metrics if cache is not None else MetricsRegistry()
+        )
+        self.telemetry = telemetry
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchCompiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- public API ----------------------------------------------------------
+
+    def compile_one(self, job: CompileJob) -> CompileResult:
+        return self.compile_batch([job])[0]
+
+    def compile_batch(self, batch: list[CompileJob]) -> list[CompileResult]:
+        """Compile every job; results come back in submission order."""
+        self.metrics.counter("driver.pool.jobs").inc(len(batch))
+        results: list[CompileResult | None] = [None] * len(batch)
+        keys: list[str | None] = [None] * len(batch)
+        pending: list[int] = []
+
+        for index, job in enumerate(batch):
+            keys[index] = self._job_key(job)
+            hit = self._from_cache(job, keys[index])
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append(index)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._compile_parallel(batch, pending, keys, results)
+        else:
+            for index in pending:
+                result = self._compile_inline(batch[index])
+                results[index] = self._finish(batch[index], keys[index],
+                                              result)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- cache ---------------------------------------------------------------
+
+    def _job_key(self, job: CompileJob) -> str | None:
+        # Telemetry wants real compile-time spans and decisions, which a
+        # cache hit cannot supply; such jobs bypass the cache entirely.
+        if self.cache is None or job.collect_telemetry:
+            return None
+        return cache_key(job.program, job.config, job.profiles,
+                         program_fingerprint=job.program_fingerprint)
+
+    def _from_cache(self, job: CompileJob,
+                    key: str | None) -> CompileResult | None:
+        if key is None or self.cache is None:
+            return None
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        return CompileResult(
+            program=entry.program,
+            config=job.config,
+            timing=entry.timing(),
+            function_stats=entry.function_stats,
+        )
+
+    def _finish(self, job: CompileJob, key: str | None,
+                result: CompileResult) -> CompileResult:
+        if key is not None and self.cache is not None:
+            self.cache.put(key, CacheEntry(
+                program=result.program,
+                function_stats=result.function_stats,
+                timing_seconds=dict(result.timing.seconds),
+            ))
+        if self.telemetry is not None and result.telemetry is not None:
+            self.telemetry.merge(result.telemetry)
+        return result
+
+    # -- execution -----------------------------------------------------------
+
+    def _compile_inline(self, job: CompileJob) -> CompileResult:
+        """Serial / fallback path; ignores the worker-only test hooks."""
+        self.metrics.counter("driver.pool.compiled", mode="inline").inc()
+        telemetry = (Telemetry(label=job.label)
+                     if job.collect_telemetry else None)
+        return compile_ir(job.program, job.config, job.profiles,
+                          clone=True, telemetry=telemetry)
+
+    def _compile_parallel(
+        self,
+        batch: list[CompileJob],
+        pending: list[int],
+        keys: list[str | None],
+        results: list[CompileResult | None],
+    ) -> None:
+        futures = {}
+        for index in pending:
+            future = self._submit(batch[index])
+            if future is None:  # pool refused (broken and un-recreatable)
+                results[index] = self._finish(
+                    batch[index], keys[index],
+                    self._fallback(batch[index], "submit"))
+            else:
+                futures[index] = future
+
+        for index in sorted(futures):
+            job = batch[index]
+            try:
+                result = futures[index].result(timeout=self.timeout)
+            except concurrent.futures.TimeoutError:
+                result = self._fallback(job, "timeout")
+            except concurrent.futures.process.BrokenProcessPool:
+                self._executor = None  # next submit builds a fresh pool
+                result = self._fallback(job, "crash")
+            except Exception:
+                result = self._fallback(job, "error")
+            else:
+                self.metrics.counter("driver.pool.compiled",
+                                     mode="worker").inc()
+            results[index] = self._finish(job, keys[index], result)
+
+    def _submit(self, job: CompileJob):
+        try:
+            if self._executor is None:
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs
+                )
+            return self._executor.submit(_compile_job_in_worker, job)
+        except Exception:
+            self._executor = None
+            return None
+
+    def _fallback(self, job: CompileJob, reason: str) -> CompileResult:
+        self.metrics.counter("driver.pool.fallbacks", reason=reason).inc()
+        return self._compile_inline(job)
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Pool + cache counter snapshot for ``--stats`` and tests."""
+        out: dict[str, int] = {}
+        for family in ("driver.pool.jobs", "driver.pool.compiled",
+                       "driver.pool.fallbacks"):
+            out.update(self.metrics.counter_family(family))
+        if self.cache is not None:
+            out.update(self.cache.stats())
+        return out

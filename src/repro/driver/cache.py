@@ -1,0 +1,239 @@
+"""Content-addressed compile cache with memory and disk tiers.
+
+The cache stores the *outcome* of one compilation — the optimized
+program, per-function statistics, and the timing breakdown — keyed by
+:func:`repro.driver.fingerprint.cache_key`.  Two tiers:
+
+* an in-memory LRU (bounded, per-process), and
+* an optional on-disk tier of pickle files under ``--cache-dir``
+  (default ``~/.cache/repro``), which survives process restarts and is
+  shared by every repro invocation on the machine.
+
+Hits are paranoid by design: the stored program is re-checked with the
+IR verifier before it is handed out, and returned programs are always
+fresh clones, so a caller can mutate (or execute) its copy without
+poisoning the cache.  A disk entry that fails to unpickle, carries a
+mismatched version, or fails verification is deleted and counted as
+corrupt, never returned.
+
+Hit/miss/store/eviction/corruption counts feed the
+``driver.cache.*`` counter family of the telemetry metrics registry
+(see docs/TELEMETRY.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.elimination import FunctionStats
+from ..ir.clone import clone_program
+from ..ir.function import Program
+from ..ir.verifier import VerificationError, verify_program
+from ..opt.pass_manager import Timing
+from ..telemetry.metrics import MetricsRegistry
+
+#: Default upper bound on in-memory entries (a full harness grid is
+#: 17 workloads x 12 variants = 204 cells; keep headroom above that).
+DEFAULT_MEMORY_ENTRIES = 512
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheEntry:
+    """Everything worth keeping from one compilation."""
+
+    program: Program
+    function_stats: dict[str, FunctionStats]
+    timing_seconds: dict[str, float]
+
+    def materialize(self) -> "CacheEntry":
+        """A detached copy safe to hand to a caller."""
+        return CacheEntry(
+            program=clone_program(self.program),
+            function_stats=dict(self.function_stats),
+            timing_seconds=dict(self.timing_seconds),
+        )
+
+    def timing(self) -> Timing:
+        return Timing(seconds=dict(self.timing_seconds))
+
+
+class CompileCache:
+    """Two-tier content-addressed store of :class:`CacheEntry` objects."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.memory_entries = memory_entries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> CacheEntry | None:
+        """The entry under ``key``, or ``None``; always a fresh clone."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            if not self._verify(entry, key, tier="memory"):
+                self._memory.pop(key, None)
+                self.metrics.counter("driver.cache.misses").inc()
+                return None
+            self.metrics.counter("driver.cache.hits", tier="memory").inc()
+            return entry.materialize()
+
+        entry = self._load_disk(key)
+        if entry is not None:
+            self.metrics.counter("driver.cache.hits", tier="disk").inc()
+            self._remember(key, entry)
+            return entry.materialize()
+
+        self.metrics.counter("driver.cache.misses").inc()
+        return None
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        """Store a compilation outcome under ``key`` in both tiers."""
+        detached = entry.materialize()
+        self._remember(key, detached)
+        self.metrics.counter("driver.cache.stores", tier="memory").inc()
+        if self.cache_dir is not None:
+            self._store_disk(key, detached)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.cache_dir is not None and self._path(key).exists()
+        )
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(
+            self.metrics.counter_family("driver.cache.hits").values()
+        )
+
+    @property
+    def misses(self) -> int:
+        return self.metrics.counter_value("driver.cache.misses")
+
+    def stats(self) -> dict[str, int]:
+        """Flat counter snapshot, for CLI ``--stats`` output and tests."""
+        out: dict[str, int] = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_entries": len(self._memory),
+        }
+        for family in ("driver.cache.hits", "driver.cache.stores"):
+            out.update(self.metrics.counter_family(family))
+        out["driver.cache.evictions"] = self.metrics.counter_value(
+            "driver.cache.evictions"
+        )
+        out["driver.cache.corrupt"] = self.metrics.counter_value(
+            "driver.cache.corrupt"
+        )
+        return out
+
+    # -- memory tier ---------------------------------------------------------
+
+    def _remember(self, key: str, entry: CacheEntry) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.metrics.counter("driver.cache.evictions").inc()
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load_disk(self, key: str) -> CacheEntry | None:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        from .. import __version__
+
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                payload.get("version") != __version__
+                or payload.get("key") != key
+            ):
+                raise ValueError("stale or mislabeled cache file")
+            entry = payload["entry"]
+            if not isinstance(entry, CacheEntry):
+                raise TypeError("cache file does not hold a CacheEntry")
+        except Exception:
+            self._discard_corrupt(path)
+            return None
+        if not self._verify(entry, key, tier="disk"):
+            self._discard_corrupt(path)
+            return None
+        return entry
+
+    def _store_disk(self, key: str, entry: CacheEntry) -> None:
+        from .. import __version__
+
+        path = self._path(key)
+        payload = {"version": __version__, "key": key, "entry": entry}
+        # Write-then-rename so a concurrent reader never sees a torn file.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp_name, path)
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.metrics.counter("driver.cache.stores", tier="disk").inc()
+
+    def _discard_corrupt(self, path: Path) -> None:
+        self.metrics.counter("driver.cache.corrupt").inc()
+        path.unlink(missing_ok=True)
+
+    # -- integrity -----------------------------------------------------------
+
+    def _verify(self, entry: CacheEntry, key: str, *, tier: str) -> bool:
+        """A hit must round-trip through the IR verifier before reuse."""
+        try:
+            verify_program(entry.program)
+        except VerificationError:
+            self.metrics.counter("driver.cache.corrupt").inc()
+            return False
+        return True

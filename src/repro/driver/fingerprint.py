@@ -1,0 +1,108 @@
+"""Stable fingerprints for compile-cache keys.
+
+A cached compilation may only be reused when *nothing* that influences
+the optimized IR has changed.  The cache key therefore combines four
+independent fingerprints:
+
+* the canonical textual form of the input program (the same rendering
+  :mod:`repro.ir.printer` uses, so two structurally identical programs
+  hash identically no matter how they were built);
+* every field of the :class:`~repro.core.config.SignExtConfig`,
+  including the machine traits it carries;
+* the branch profiles that steer order determination (different
+  training runs legitimately produce different code); and
+* the repro package version, so a new release never reuses artifacts
+  produced by old pipeline code.
+
+All fingerprints are SHA-256 hex digests of deterministic renderings —
+no ``repr`` of dicts or sets whose ordering could drift between
+processes — so keys are stable across interpreter restarts, which the
+on-disk cache tier depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..analysis.frequency import BranchProfile
+from ..core.config import SignExtConfig
+from ..ir.function import Program
+from ..ir.printer import format_program
+from ..machine.model import MachineTraits
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_program(program: Program) -> str:
+    """Hash the canonical textual rendering of a program."""
+    return _digest(format_program(program))
+
+
+def _traits_fields(traits: MachineTraits) -> list[Any]:
+    return [
+        traits.name,
+        sorted((t.value, e.value) for t, e in traits.load_ext.items()),
+        traits.has_cmp32,
+        traits.abi_canonical_args,
+        traits.abi_canonical_ret,
+        traits.extend_cost,
+        traits.fused_address_add,
+    ]
+
+
+def fingerprint_config(config: SignExtConfig) -> str:
+    """Hash every knob of a pipeline configuration, traits included."""
+    fields: list[Any] = [
+        config.placement.value,
+        config.algorithm.value,
+        config.insert,
+        config.insert_pde,
+        config.order,
+        config.array,
+        config.general_opts,
+        config.max_array_length,
+        sorted(config.theorems),
+        config.use_profile,
+        _traits_fields(config.traits),
+    ]
+    return _digest(repr(fields))
+
+
+def fingerprint_profiles(
+    profiles: dict[str, BranchProfile] | None,
+) -> str:
+    """Hash the branch profiles (``None`` hashes distinctly from ``{}``)."""
+    if profiles is None:
+        return _digest("no-profiles")
+    rendering = [
+        (name, sorted(profiles[name].edge_counts.items()))
+        for name in sorted(profiles)
+    ]
+    return _digest(repr(rendering))
+
+
+def cache_key(
+    program: Program,
+    config: SignExtConfig,
+    profiles: dict[str, BranchProfile] | None = None,
+    *,
+    program_fingerprint: str | None = None,
+) -> str:
+    """The content-addressed key one compilation is stored under.
+
+    ``program_fingerprint`` lets callers that submit the same program
+    under many configurations (the harness grid does, twelve times)
+    hash the IR once and reuse the digest.
+    """
+    from .. import __version__
+
+    parts = [
+        program_fingerprint or fingerprint_program(program),
+        fingerprint_config(config),
+        fingerprint_profiles(profiles),
+        __version__,
+    ]
+    return _digest("\n".join(parts))

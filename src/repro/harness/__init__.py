@@ -1,12 +1,13 @@
 """Experiment harness: regenerate the paper's tables and figures."""
 
 from .claims import Verdict, check_claims, format_claims
-from .export import export_json, results_to_dict
+from .export import export_json, results_to_dict, strip_volatile
 from .figures import format_percent_figure, format_performance_figure
 from .runner import (
     CellResult,
     SoundnessError,
     WorkloadResults,
+    measure_workload,
     run_suite,
     run_workload,
 )
@@ -25,7 +26,9 @@ __all__ = [
     "format_performance_figure",
     "format_claims",
     "format_timing_table",
+    "measure_workload",
     "results_to_dict",
     "run_suite",
     "run_workload",
+    "strip_volatile",
 ]

@@ -45,3 +45,21 @@ def export_json(results: list[WorkloadResults], path: str) -> None:
     with open(path, "w") as handle:
         json.dump(results_to_dict(results), handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def strip_volatile(payload: dict[str, Any]) -> dict[str, Any]:
+    """A copy of an exported payload without run-to-run noise.
+
+    Everything in the export is a deterministic function of the
+    workloads and variants except wall-clock compile timing (and, when
+    present, telemetry documents, whose span timestamps vary).  Tests
+    and the CI warm-cache check compare exports through this filter:
+    two runs agree exactly iff they produced the same code and the
+    same measurements.
+    """
+    clean = json.loads(json.dumps(payload))
+    for workload in clean.get("workloads", []):
+        for cell in workload.get("variants", {}).values():
+            cell.pop("compile_seconds", None)
+            cell.pop("telemetry", None)
+    return clean

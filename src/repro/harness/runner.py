@@ -15,17 +15,17 @@ For every (workload, variant) cell the runner:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from ..analysis.frequency import BranchProfile
-from ..core import VARIANTS, compile_program
+from ..core import VARIANTS
 from ..core.config import SignExtConfig
+from ..driver import BatchCompiler, CompileJob, fingerprint_program
 from ..interp import Interpreter
 from ..interp.profiler import collect_branch_profiles
 from ..machine.costs import CycleReport, count_cycles
 from ..machine.model import IA64, MachineTraits
 from ..opt.pass_manager import Timing
-from ..telemetry import Telemetry
 from ..workloads import Workload
 
 
@@ -65,15 +65,22 @@ class WorkloadResults:
         return self.cells["baseline"]
 
 
-def run_workload(
+def measure_workload(
     workload: Workload,
     variants: dict[str, SignExtConfig] | None = None,
     *,
     traits: MachineTraits = IA64,
     fuel: int = 100_000_000,
     collect_telemetry: bool = False,
+    driver: BatchCompiler | None = None,
 ) -> WorkloadResults:
     """Run one workload under every variant; verify soundness throughout.
+
+    All variant compilations go through a :class:`BatchCompiler`: pass
+    ``driver`` to share a compile cache and process pool across
+    workloads (``repro.api.bench`` does), or leave it ``None`` for a
+    private serial driver — the results are identical either way, the
+    driver only changes where and whether the compile work happens.
 
     With ``collect_telemetry=True`` every cell carries its full
     telemetry document (compile-time spans, decision log, and runtime
@@ -87,13 +94,28 @@ def run_workload(
     gold = Interpreter(source, mode="ideal", fuel=fuel).run()
     profiles = collect_branch_profiles(source, fuel=fuel)
 
+    # One digest serves all variant cells of this workload.
+    source_fp = fingerprint_program(source)
+    jobs = [
+        CompileJob(
+            label=f"{workload.name}/{name}",
+            program=source,
+            config=config.with_traits(traits),
+            profiles=profiles,
+            collect_telemetry=collect_telemetry,
+            program_fingerprint=source_fp,
+        )
+        for name, config in variants.items()
+    ]
+    if driver is None:
+        with BatchCompiler() as private_driver:
+            compiled_cells = private_driver.compile_batch(jobs)
+    else:
+        compiled_cells = driver.compile_batch(jobs)
+
     results = WorkloadResults(workload=workload, gold_checksum=gold.checksum)
-    for name, config in variants.items():
-        config = config.with_traits(traits)
-        telemetry = (Telemetry(label=f"{workload.name}/{name}")
-                     if collect_telemetry else None)
-        compiled = compile_program(source, config, profiles,
-                                   telemetry=telemetry)
+    for (name, _), compiled in zip(variants.items(), compiled_cells):
+        telemetry = compiled.telemetry
         metrics = telemetry.metrics if telemetry is not None else None
         run = Interpreter(compiled.program, traits=traits, fuel=fuel,
                           metrics=metrics).run()
@@ -123,10 +145,42 @@ def run_suite(
     variants: dict[str, SignExtConfig] | None = None,
     *,
     traits: MachineTraits = IA64,
+    fuel: int = 100_000_000,
     collect_telemetry: bool = False,
+    driver: BatchCompiler | None = None,
 ) -> list[WorkloadResults]:
+    """Measure every workload, sharing one driver across the grid."""
+    if driver is None:
+        with BatchCompiler() as private_driver:
+            return run_suite(workloads, variants, traits=traits, fuel=fuel,
+                             collect_telemetry=collect_telemetry,
+                             driver=private_driver)
     return [
-        run_workload(w, variants, traits=traits,
-                     collect_telemetry=collect_telemetry)
+        measure_workload(w, variants, traits=traits, fuel=fuel,
+                         collect_telemetry=collect_telemetry,
+                         driver=driver)
         for w in workloads
     ]
+
+
+def run_workload(
+    workload: Workload,
+    variants: dict[str, SignExtConfig] | None = None,
+    *,
+    traits: MachineTraits = IA64,
+    fuel: int = 100_000_000,
+    collect_telemetry: bool = False,
+) -> WorkloadResults:
+    """Deprecated alias of :func:`measure_workload`.
+
+    Prefer :func:`repro.api.bench` (whole grids) or
+    :func:`measure_workload` (one workload).
+    """
+    warnings.warn(
+        "run_workload() is deprecated; use repro.api.bench() or "
+        "repro.harness.measure_workload()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return measure_workload(workload, variants, traits=traits, fuel=fuel,
+                            collect_telemetry=collect_telemetry)

@@ -54,6 +54,17 @@ class Telemetry:
     def counter(self, name: str, **labels: Any) -> Counter:
         return self.metrics.counter(name, **labels)
 
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another telemetry object into this one.
+
+        Used by the batch driver to absorb per-job telemetry collected
+        in pool workers: spans land under a ``merged:<label>`` root,
+        counters sum, and decision records append.
+        """
+        self.tracer.merge(other.tracer)
+        self.metrics.merge(other.metrics)
+        self.decisions.merge(other.decisions)
+
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:

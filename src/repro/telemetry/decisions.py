@@ -69,6 +69,11 @@ class DecisionLog:
     def add(self, record: DecisionRecord) -> None:
         self.records.append(record)
 
+    def merge(self, other: "DecisionLog") -> None:
+        """Append another log's records (pool workers merge into the
+        driver's log)."""
+        self.records.extend(other.records)
+
     def eliminated(self) -> list[DecisionRecord]:
         return [r for r in self.records if r.verdict == VERDICT_ELIMINATED]
 

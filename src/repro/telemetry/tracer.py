@@ -117,6 +117,28 @@ class Tracer:
             self._stack.pop()
         span.duration_us = max(0, end - span.start_us)
 
+    # -- merge --------------------------------------------------------------
+
+    def merge(self, other: "Tracer") -> None:
+        """Adopt another tracer's span forest (e.g. from a pool worker).
+
+        The other tracer's roots are appended under a synthetic
+        ``merged:<process_name>`` root so worker timelines stay
+        distinguishable; its monotonic timestamps are kept as-is (each
+        process has its own epoch, which the trace viewer handles via
+        separate tracks).
+        """
+        if not other.roots:
+            return
+        wrapper = Span(f"merged:{other.process_name}", "merge",
+                       other.roots[0].start_us)
+        last = other.roots[-1]
+        wrapper.duration_us = max(
+            0, last.start_us + last.duration_us - wrapper.start_us
+        )
+        wrapper.children.extend(other.roots)
+        self.roots.append(wrapper)
+
     # -- export -------------------------------------------------------------
 
     def walk(self):

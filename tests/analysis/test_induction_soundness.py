@@ -6,7 +6,7 @@ a sound interval), and the compiled program must behave identically.
 """
 
 from repro.analysis import Chains, TOP, ValueRanges
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.frontend import compile_source
 from repro.ir import Cond, Opcode, Program, ScalarType, build_function
 from repro.machine import IA64
@@ -66,7 +66,7 @@ class TestUnsoundPatternsRejected:
         """
         program = compile_source(source)
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         assert run_machine(compiled.program).observable() == gold.observable()
 
     def test_wrapping_step_rejected(self):
@@ -136,7 +136,7 @@ class TestSoundPatternsAccepted:
         """
         program = compile_source(source)
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = run_machine(compiled.program)
         assert run.observable() == gold.observable()
         # Subscript extensions in the loops are gone; only a bounded
@@ -158,5 +158,5 @@ class TestSoundPatternsAccepted:
         """
         program = compile_source(source)
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         assert run_machine(compiled.program).observable() == gold.observable()

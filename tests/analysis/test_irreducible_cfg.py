@@ -9,7 +9,7 @@ claim anything about it.
 
 from repro.analysis import Chains, DominatorTree, LoopForest, TOP, ValueRanges
 from repro.analysis.frequency import estimate_frequencies
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.ir import Opcode
 from repro.ir.parser import parse_program
 from repro.machine import IA64
@@ -83,6 +83,6 @@ class TestPipelineSoundOnIrreducible:
         for args in ((0,), (1,)):
             gold = run_ideal(program, args=args)
             for name, config in VARIANTS.items():
-                compiled = compile_program(program, config)
+                compiled = compile_ir(program, config)
                 run = run_machine(compiled.program, args=args)
                 assert run.observable() == gold.observable(), (name, args)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.frontend import compile_source
 from repro.interp import Interpreter
 from repro.ir import (
@@ -34,7 +34,7 @@ def assert_all_variants_sound(source: str, fuel: int = 5_000_000):
     program = compile_source(source, "test")
     gold = run_ideal(program, fuel)
     for name, config in VARIANTS.items():
-        compiled = compile_program(program, config)
+        compiled = compile_ir(program, config)
         run = run_machine(compiled.program, fuel)
         assert run.observable() == gold.observable(), (
             f"variant {name!r} changed behaviour"

@@ -191,7 +191,7 @@ class TestTheoremConfig:
 
 class TestStats:
     def test_elimination_counts_by_width(self):
-        from repro.core import compile_program
+        from repro.core import compile_ir
         from repro.frontend import compile_source
 
         program = compile_source("""
@@ -203,7 +203,7 @@ class TestStats:
                 sink(t);
             }
         """)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         stats = compiled.function_stats["main"]
         assert stats.candidates > 0
         assert stats.eliminated > 0

@@ -7,7 +7,7 @@ and where.
 
 import pytest
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.core.config import Algorithm, SignExtConfig
 from repro.ir import Opcode
 from tests.conftest import make_fig7_program, run_ideal, run_machine
@@ -30,7 +30,7 @@ def _extends_in_loops(program) -> int:
 
 def _dyn_extends(program, variant_name):
     config = VARIANTS[variant_name]
-    compiled = compile_program(program, config)
+    compiled = compile_ir(program, config)
     run = run_machine(compiled.program)
     return run, compiled
 
@@ -117,7 +117,7 @@ class TestFigure9OrderDetermination:
     def test_order_prefers_hot_extension(self):
         program = self._fig9_program()
         config = VARIANTS["new algorithm (all)"]
-        compiled = compile_program(program, config)
+        compiled = compile_ir(program, config)
         run = run_machine(compiled.program, args=(3, 4))
         gold = run_ideal(program, args=(3, 4))
         assert run.observable() == gold.observable()
@@ -170,7 +170,7 @@ class TestFigure10ArraySizeDependence:
         config = dataclasses.replace(
             VARIANTS["new algorithm (all)"], max_array_length=0x7FFF0001
         )
-        compiled = compile_program(program, config)
+        compiled = compile_ir(program, config)
         run = run_machine(compiled.program)
         assert run.observable() == gold.observable()
         assert _extends_in_loops(compiled.program) == 0
@@ -182,7 +182,7 @@ class TestFigure10ArraySizeDependence:
         Whatever the analysis decides, behaviour must be preserved."""
         program = self._fig10_program()
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = run_machine(compiled.program)
         assert run.observable() == gold.observable()
 

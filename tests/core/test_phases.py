@@ -4,7 +4,7 @@ markers, ordering, the first algorithm, PDE insertion, and timing."""
 from repro.analysis.frequency import BranchProfile
 from repro.core import (
     VARIANTS,
-    compile_program,
+    compile_ir,
     convert_function,
     function_has_loop,
     insert_before_requiring_uses,
@@ -81,7 +81,7 @@ class TestDummyMarkers:
         assert _count(program.main, Opcode.JUST_EXTENDED) == 0
 
     def test_full_pipeline_leaves_no_dummies(self):
-        compiled = compile_program(make_fig7_program(5),
+        compiled = compile_ir(make_fig7_program(5),
                                    VARIANTS["new algorithm (all)"])
         for func in compiled.program.functions.values():
             assert _count(func, Opcode.JUST_EXTENDED) == 0
@@ -250,13 +250,13 @@ class TestPDEInsertion:
     def test_sound_on_fig7(self):
         program = make_fig7_program(20)
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["all, using PDE"])
+        compiled = compile_ir(program, VARIANTS["all, using PDE"])
         assert run_machine(compiled.program).observable() == gold.observable()
 
 
 class TestTiming:
     def test_buckets_populated(self):
-        compiled = compile_program(make_fig7_program(5),
+        compiled = compile_ir(make_fig7_program(5),
                                    VARIANTS["new algorithm (all)"])
         timing = compiled.timing
         assert timing.seconds.get(BUCKET_SIGN_EXT, 0) > 0
@@ -267,5 +267,5 @@ class TestTiming:
         assert abs(total - 1.0) < 1e-9
 
     def test_baseline_has_no_sign_ext_time(self):
-        compiled = compile_program(make_fig7_program(5), VARIANTS["baseline"])
+        compiled = compile_ir(make_fig7_program(5), VARIANTS["baseline"])
         assert compiled.timing.seconds.get(BUCKET_SIGN_EXT, 0) == 0

@@ -3,7 +3,7 @@ not the answers."""
 
 import pytest
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.machine import IA64, PPC64
 from repro.workloads import get_workload
 from tests.conftest import make_fig7_program, run_ideal, run_machine
@@ -18,7 +18,7 @@ class TestPpc64Equivalence:
         program = make_fig7_program(30)
         gold = run_ideal(program)
         config = VARIANTS[variant].with_traits(PPC64)
-        compiled = compile_program(program, config)
+        compiled = compile_ir(program, config)
         run = run_machine(compiled.program, traits=PPC64)
         assert run.observable() == gold.observable()
 
@@ -27,7 +27,7 @@ class TestPpc64Equivalence:
         program = get_workload(name).program()
         gold = run_ideal(program, fuel=20_000_000)
         config = VARIANTS["new algorithm (all)"].with_traits(PPC64)
-        compiled = compile_program(program, config)
+        compiled = compile_ir(program, config)
         run = run_machine(compiled.program, traits=PPC64, fuel=20_000_000)
         assert run.observable() == gold.observable()
 
@@ -35,8 +35,8 @@ class TestPpc64Equivalence:
         """Section 1: implicit sign extension (lwa) means fewer explicit
         extensions exist before any optimization."""
         program = make_fig7_program(30)
-        ia64 = compile_program(program, VARIANTS["baseline"])
-        ppc64 = compile_program(
+        ia64 = compile_ir(program, VARIANTS["baseline"])
+        ppc64 = compile_ir(
             program, VARIANTS["baseline"].with_traits(PPC64)
         )
         ia64_run = run_machine(ia64.program, traits=IA64)
@@ -52,6 +52,6 @@ class TestPpc64Equivalence:
         program = make_fig7_program(30)
         for traits in (IA64, PPC64):
             config = VARIANTS["new algorithm (all)"].with_traits(traits)
-            compiled = compile_program(program, config)
+            compiled = compile_ir(program, config)
             run = run_machine(compiled.program, traits=traits)
             assert run.extends32 <= 2

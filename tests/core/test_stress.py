@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.frontend import compile_source
 from repro.interp import Interpreter
 from repro.testing import ProgramGenerator
@@ -15,7 +15,7 @@ class TestScale:
         source = generator.generate()
         program = compile_source(source, "stress")
         gold = Interpreter(program, mode="ideal", fuel=5_000_000).run()
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = Interpreter(compiled.program, fuel=5_000_000).run()
         assert run.observable() == gold.observable()
 
@@ -34,7 +34,7 @@ class TestScale:
         }}
         """
         program = compile_source(source, "ladder")
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         result = Interpreter(compiled.program).run()
         assert result.ret_value == 42 * 3
 
@@ -54,7 +54,7 @@ class TestScale:
         """
         program = compile_source(source, "chain")
         gold = Interpreter(program, mode="ideal").run()
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = Interpreter(compiled.program).run()
         assert run.observable() == gold.observable()
         # Everything is masked: no dynamic extensions remain.
@@ -78,6 +78,6 @@ class TestScale:
         }}
         """
         program = compile_source(source, f"nest{depth}")
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         result = Interpreter(compiled.program).run()
         assert result.ret_value == 2 ** depth

@@ -7,7 +7,7 @@ is violated.  Soundness (identical observable behaviour under
 machine-faithful execution) is asserted every time.
 """
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.ir import (
     Cond,
     Instr,
@@ -36,7 +36,7 @@ def _loop_extends(program) -> int:
 
 def _check(program, config=ARRAY_CFG, args=()):
     gold = run_ideal(program, args=args)
-    compiled = compile_program(program, config)
+    compiled = compile_ir(program, config)
     run = run_machine(compiled.program, args=args)
     assert run.observable() == gold.observable()
     return compiled, run
@@ -245,7 +245,7 @@ class TestHypothesisViolations:
         b.sink(value)
         b.ret(value)
         gold = run_ideal(program, args=(10, 20))
-        compiled = compile_program(program, ARRAY_CFG)
+        compiled = compile_ir(program, ARRAY_CFG)
         run = run_machine(compiled.program, args=(10, 20))
         assert run.observable() == gold.observable()
 

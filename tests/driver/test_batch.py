@@ -1,0 +1,176 @@
+"""BatchCompiler: parallel equivalence, fallbacks, and cache reuse.
+
+The pool tests run real worker processes; the kernel is kept tiny so
+each compile is milliseconds and the suite stays fast even on one CPU.
+"""
+
+import pytest
+
+from repro.core import VARIANTS
+from repro.driver import BatchCompiler, CompileCache, CompileJob
+from repro.frontend import compile_source
+from repro.interp.profiler import collect_branch_profiles
+from repro.ir.printer import format_program
+
+SOURCE = """
+void main() {
+    int[] a = new int[12];
+    int t = 0;
+    for (int i = 0; i < 12; i++) { a[i] = i - 6; t += a[i] * i; }
+    sink(t);
+}
+"""
+
+FULL = VARIANTS["new algorithm (all)"]
+
+
+def _program():
+    return compile_source(SOURCE, "batch_kernel")
+
+
+def _grid_jobs(profiles=None):
+    """One job per paper variant — a miniature harness grid."""
+    program = _program()
+    return [
+        CompileJob(label=name, program=program, config=config,
+                   profiles=profiles)
+        for name, config in VARIANTS.items()
+    ]
+
+
+class TestSerial:
+    def test_compile_one(self):
+        with BatchCompiler() as driver:
+            result = driver.compile_one(
+                CompileJob("one", _program(), FULL)
+            )
+        assert result.function_stats
+        assert driver.stats()["driver.pool.jobs"] == 1
+        assert driver.stats()["driver.pool.compiled{mode=inline}"] == 1
+
+    def test_results_in_submission_order(self):
+        jobs = _grid_jobs()
+        with BatchCompiler() as driver:
+            results = driver.compile_batch(jobs)
+        assert len(results) == len(jobs)
+        for job, result in zip(jobs, results):
+            assert result.config is job.config
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        profiles = collect_branch_profiles(_program())
+        with BatchCompiler(jobs=1) as driver:
+            serial = driver.compile_batch(_grid_jobs(profiles))
+        with BatchCompiler(jobs=2) as driver:
+            parallel = driver.compile_batch(_grid_jobs(profiles))
+            stats = driver.stats()
+
+        assert stats["driver.pool.compiled{mode=worker}"] == len(VARIANTS)
+        for name, s, p in zip(VARIANTS, serial, parallel):
+            assert format_program(s.program) == format_program(p.program), \
+                f"variant {name!r} diverged between serial and parallel"
+            assert s.function_stats == p.function_stats, name
+
+
+class TestFallbacks:
+    def test_worker_crash_degrades_to_inline(self):
+        program = _program()
+        jobs = [
+            CompileJob("healthy", program, FULL),
+            CompileJob("doomed", program, FULL, simulate_crash=True),
+        ]
+        with BatchCompiler(jobs=2) as driver:
+            results = driver.compile_batch(jobs)
+            stats = driver.stats()
+        assert all(r.function_stats for r in results)
+        assert stats["driver.pool.fallbacks{reason=crash}"] >= 1
+        # The crashed job recompiled in-process; the batch is complete
+        # and both results match a plain serial compile.
+        with BatchCompiler() as driver:
+            expected = driver.compile_one(CompileJob("ref", program, FULL))
+        for result in results:
+            assert format_program(result.program) == \
+                format_program(expected.program)
+
+    def test_timeout_degrades_to_inline(self):
+        program = _program()
+        jobs = [
+            CompileJob("slow", program, FULL, simulate_delay=30.0),
+            CompileJob("fast", program, FULL),
+        ]
+        with BatchCompiler(jobs=2, timeout=0.5) as driver:
+            results = driver.compile_batch(jobs)
+            stats = driver.stats()
+        assert all(r.function_stats for r in results)
+        assert stats["driver.pool.fallbacks{reason=timeout}"] >= 1
+
+    def test_crash_hook_ignored_inline(self):
+        # Serial drivers must never honour the worker-only hook, or a
+        # fallback recompile of a crashing job would kill the caller.
+        job = CompileJob("inline", _program(), FULL, simulate_crash=True)
+        with BatchCompiler() as driver:
+            result = driver.compile_one(job)
+        assert result.function_stats
+
+
+class TestCacheIntegration:
+    def test_warm_batch_never_recompiles(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        with BatchCompiler(cache=cache) as driver:
+            cold = driver.compile_batch(_grid_jobs())
+            compiled_cold = driver.stats().get(
+                "driver.pool.compiled{mode=inline}", 0
+            )
+        assert cache.stats()["misses"] == len(VARIANTS)
+        assert compiled_cold == len(VARIANTS)
+
+        # The warm driver shares the cache's metrics registry, so the
+        # compiled counter must simply not move.
+        with BatchCompiler(cache=cache) as driver:
+            warm = driver.compile_batch(_grid_jobs())
+            stats = driver.stats()
+        assert stats["hits"] == len(VARIANTS)
+        assert stats["driver.pool.compiled{mode=inline}"] == compiled_cold
+        assert "driver.pool.compiled{mode=worker}" not in stats
+        for c, w in zip(cold, warm):
+            assert format_program(c.program) == format_program(w.program)
+            assert c.function_stats == w.function_stats
+
+    def test_cold_disk_tier_warms_new_driver(self, tmp_path):
+        with BatchCompiler(cache=CompileCache(tmp_path)) as driver:
+            driver.compile_batch(_grid_jobs())
+
+        fresh_cache = CompileCache(tmp_path)  # no shared memory tier
+        with BatchCompiler(cache=fresh_cache) as driver:
+            driver.compile_batch(_grid_jobs())
+        assert fresh_cache.stats()["driver.cache.hits{tier=disk}"] == \
+            len(VARIANTS)
+
+    def test_telemetry_jobs_bypass_cache(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        job = CompileJob("telemetry", _program(), FULL,
+                         collect_telemetry=True)
+        with BatchCompiler(cache=cache) as driver:
+            driver.compile_one(job)
+            driver.compile_one(job)
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+
+
+class TestTelemetryMerge:
+    def test_worker_telemetry_merges_into_parent(self):
+        from repro.telemetry import Telemetry
+
+        parent = Telemetry(label="driver")
+        program = _program()
+        jobs = [
+            CompileJob("cell-a", program, FULL, collect_telemetry=True),
+            CompileJob("cell-b", program, FULL, collect_telemetry=True),
+        ]
+        with BatchCompiler(jobs=2, telemetry=parent) as driver:
+            results = driver.compile_batch(jobs)
+        assert all(r.telemetry is not None for r in results)
+        merged = [s.name for s in parent.tracer.roots]
+        assert len(merged) == 2
+        assert all(name.startswith("merged:") for name in merged)

@@ -1,0 +1,139 @@
+"""Two-tier compile cache: hits, misses, eviction, and corruption."""
+
+import pickle
+
+import pytest
+
+from repro.core import VARIANTS, compile_ir
+from repro.driver import CacheEntry, CompileCache, cache_key
+from repro.frontend import compile_source
+from repro.ir.printer import format_program
+
+SOURCE = """
+void main() {
+    int[] a = new int[8];
+    int t = 0;
+    for (int i = 0; i < 8; i++) { a[i] = i * 3; t += a[i]; }
+    sink(t);
+}
+"""
+
+FULL = VARIANTS["new algorithm (all)"]
+BASELINE = VARIANTS["baseline"]
+
+
+@pytest.fixture()
+def program():
+    return compile_source(SOURCE, "cache_kernel")
+
+
+@pytest.fixture()
+def entry(program):
+    result = compile_ir(program, FULL)
+    return CacheEntry(
+        program=result.program,
+        function_stats=result.function_stats,
+        timing_seconds=dict(result.timing.seconds),
+    )
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, program, entry):
+        cache = CompileCache()
+        key = cache_key(program, FULL, None)
+        assert cache.get(key) is None
+        cache.put(key, entry)
+        hit = cache.get(key)
+        assert hit is not None
+        assert format_program(hit.program) == format_program(entry.program)
+        assert hit.function_stats == entry.function_stats
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_hits_are_detached_clones(self, program, entry):
+        cache = CompileCache()
+        key = cache_key(program, FULL, None)
+        cache.put(key, entry)
+        first = cache.get(key)
+        # Mutilate the copy we were handed; the cache must not notice.
+        first.program.functions.clear()
+        second = cache.get(key)
+        assert second.program.functions
+        assert format_program(second.program) == \
+            format_program(entry.program)
+
+    def test_config_change_misses(self, program, entry):
+        cache = CompileCache()
+        cache.put(cache_key(program, FULL, None), entry)
+        assert cache.get(cache_key(program, BASELINE, None)) is None
+
+    def test_ir_change_misses(self, program, entry):
+        cache = CompileCache()
+        cache.put(cache_key(program, FULL, None), entry)
+        other = compile_source(SOURCE.replace("* 3", "* 5"), "cache_kernel")
+        assert cache.get(cache_key(other, FULL, None)) is None
+
+    def test_lru_eviction(self, program, entry):
+        cache = CompileCache(memory_entries=2)
+        cache.put("k1", entry)
+        cache.put("k2", entry)
+        cache.get("k1")  # refresh k1 so k2 is the LRU victim
+        cache.put("k3", entry)
+        assert cache.stats()["driver.cache.evictions"] == 1
+        assert "k1" in cache and "k3" in cache
+        assert "k2" not in cache
+
+
+class TestDiskTier:
+    def test_survives_new_cache_instance(self, tmp_path, program, entry):
+        key = cache_key(program, FULL, None)
+        CompileCache(tmp_path).put(key, entry)
+
+        fresh = CompileCache(tmp_path)  # models a process restart
+        hit = fresh.get(key)
+        assert hit is not None
+        assert format_program(hit.program) == format_program(entry.program)
+        stats = fresh.stats()
+        assert stats["driver.cache.hits{tier=disk}"] == 1
+        # Disk hits are promoted to memory; the next get is a memory hit.
+        fresh.get(key)
+        assert fresh.stats()["driver.cache.hits{tier=memory}"] == 1
+
+    def test_truncated_file_is_discarded(self, tmp_path, program, entry):
+        key = cache_key(program, FULL, None)
+        cache = CompileCache(tmp_path)
+        cache.put(key, entry)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+
+        fresh = CompileCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats()["driver.cache.corrupt"] == 1
+        assert not (tmp_path / f"{key}.pkl").exists()
+
+    def test_version_mismatch_is_discarded(self, tmp_path, program, entry):
+        key = cache_key(program, FULL, None)
+        cache = CompileCache(tmp_path)
+        cache.put(key, entry)
+        path = tmp_path / f"{key}.pkl"
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = "0.0.0"
+        path.write_bytes(pickle.dumps(payload))
+
+        fresh = CompileCache(tmp_path)
+        assert fresh.get(key) is None
+        assert not path.exists()
+
+    def test_clear_empties_both_tiers(self, tmp_path, program, entry):
+        key = cache_key(program, FULL, None)
+        cache = CompileCache(tmp_path)
+        cache.put(key, entry)
+        cache.clear()
+        assert key not in cache
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_memory_only_without_cache_dir(self, program, entry):
+        cache = CompileCache()
+        cache.put(cache_key(program, FULL, None), entry)
+        stats = cache.stats()
+        assert stats["driver.cache.stores{tier=memory}"] == 1
+        assert "driver.cache.stores{tier=disk}" not in stats

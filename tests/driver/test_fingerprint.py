@@ -1,0 +1,101 @@
+"""Cache-key stability: same inputs hash identically, any change misses.
+
+The on-disk cache tier is only sound if keys are reproducible across
+interpreter restarts, so the headline test recomputes a key in a fresh
+subprocess and compares bytes.
+"""
+
+import dataclasses
+import pathlib
+import subprocess
+import sys
+
+from repro.core import VARIANTS
+from repro.driver import (
+    cache_key,
+    fingerprint_config,
+    fingerprint_profiles,
+    fingerprint_program,
+)
+from repro.frontend import compile_source
+from repro.interp.profiler import collect_branch_profiles
+from repro.machine import PPC64
+
+SOURCE = """
+void main() {
+    int[] a = new int[16];
+    int t = 0;
+    for (int i = 0; i < 16; i++) { a[i] = i; t += a[i]; }
+    sink(t);
+}
+"""
+
+
+def _program():
+    return compile_source(SOURCE, "fp")
+
+
+class TestFingerprintStability:
+    def test_same_program_same_fingerprint(self):
+        assert fingerprint_program(_program()) == \
+            fingerprint_program(_program())
+
+    def test_different_source_different_fingerprint(self):
+        other = compile_source(SOURCE.replace("16", "17"), "fp")
+        assert fingerprint_program(_program()) != fingerprint_program(other)
+
+    def test_config_changes_fingerprint(self):
+        full = VARIANTS["new algorithm (all)"]
+        assert fingerprint_config(full) != \
+            fingerprint_config(VARIANTS["baseline"])
+        assert fingerprint_config(full) != \
+            fingerprint_config(dataclasses.replace(full, max_array_length=7))
+        assert fingerprint_config(full) != \
+            fingerprint_config(full.with_traits(PPC64))
+        assert fingerprint_config(full) == \
+            fingerprint_config(dataclasses.replace(full))
+
+    def test_theorem_set_order_is_canonical(self):
+        full = VARIANTS["new algorithm (all)"]
+        shuffled = dataclasses.replace(
+            full, theorems=frozenset([4, 2, 3, 1])
+        )
+        assert fingerprint_config(full) == fingerprint_config(shuffled)
+
+    def test_profiles_change_key(self):
+        program = _program()
+        profiles = collect_branch_profiles(program)
+        config = VARIANTS["new algorithm (all)"]
+        assert cache_key(program, config, None) != \
+            cache_key(program, config, profiles)
+        assert cache_key(program, config, profiles) == \
+            cache_key(program, config, profiles)
+
+    def test_none_differs_from_empty_profiles(self):
+        assert fingerprint_profiles(None) != fingerprint_profiles({})
+
+
+class TestCrossProcessStability:
+    def test_key_survives_interpreter_restart(self):
+        program = _program()
+        config = VARIANTS["new algorithm (all)"]
+        profiles = collect_branch_profiles(program)
+        local = cache_key(program, config, profiles)
+
+        src_dir = pathlib.Path(__file__).resolve().parents[2] / "src"
+        script = f"""
+import sys
+sys.path.insert(0, {str(src_dir)!r})
+from repro.core import VARIANTS
+from repro.driver import cache_key
+from repro.frontend import compile_source
+from repro.interp.profiler import collect_branch_profiles
+program = compile_source({SOURCE!r}, "fp")
+profiles = collect_branch_profiles(program)
+print(cache_key(program, VARIANTS["new algorithm (all)"], profiles))
+"""
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == local

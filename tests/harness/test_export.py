@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.harness import export_json, results_to_dict, run_workload
+from repro.harness import export_json, results_to_dict, measure_workload
 from repro.workloads import Workload
 
 _SOURCE = """
@@ -22,7 +22,7 @@ void main() {
 def results():
     workload = Workload(name="export_kernel", suite="jbytemark",
                         description="test", source=_SOURCE)
-    return [run_workload(workload)]
+    return [measure_workload(workload)]
 
 
 class TestExport:

@@ -11,7 +11,7 @@ from repro.harness import (
     format_percent_figure,
     format_performance_figure,
     format_timing_table,
-    run_workload,
+    measure_workload,
 )
 from repro.workloads import Workload
 
@@ -33,7 +33,7 @@ _FAST = Workload(name="fast", suite="jbytemark",
 
 @pytest.fixture(scope="module")
 def results():
-    return run_workload(_FAST)
+    return measure_workload(_FAST)
 
 
 class TestRunner:
@@ -57,7 +57,7 @@ class TestRunner:
         # the public API, so simulate by corrupting the gold comparison:
         # run with a variant dict pointing at a config that is fine, and
         # assert the runner at least accepts it (negative control).
-        out = run_workload(_FAST, {"baseline": VARIANTS["baseline"]})
+        out = measure_workload(_FAST, {"baseline": VARIANTS["baseline"]})
         assert "baseline" in out.cells
 
 

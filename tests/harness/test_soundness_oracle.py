@@ -7,8 +7,8 @@ check would have caught an unsound elimination in the real pipeline.
 
 import pytest
 
-import repro.harness.runner as runner_module
-from repro.harness import SoundnessError, run_workload
+import repro.driver.batch as batch_module
+from repro.harness import SoundnessError, measure_workload
 from repro.ir import Opcode
 from repro.workloads import Workload
 
@@ -33,7 +33,9 @@ def test_oracle_rejects_stripped_extensions(monkeypatch):
     workload = Workload(name="sabotage", suite="jbytemark",
                         description="oracle test", source=_SOURCE)
 
-    real_compile = runner_module.compile_program
+    # The runner compiles through the batch driver; sabotage the
+    # driver's in-process compile path (the serial default).
+    real_compile = batch_module.compile_ir
 
     def sabotaged(source, config, profiles=None, **kwargs):
         result = real_compile(source, config, profiles, **kwargs)
@@ -47,15 +49,15 @@ def test_oracle_rejects_stripped_extensions(monkeypatch):
                 ]
         return result
 
-    monkeypatch.setattr(runner_module, "compile_program", sabotaged)
+    monkeypatch.setattr(batch_module, "compile_ir", sabotaged)
     with pytest.raises(SoundnessError):
-        run_workload(workload)
+        measure_workload(workload)
 
 
 def test_oracle_accepts_honest_compiler():
     workload = Workload(name="honest", suite="jbytemark",
                         description="oracle test", source=_SOURCE)
-    results = run_workload(workload)
+    results = measure_workload(workload)
     # The honest pipeline keeps the required extension: it runs 5 times
     # under every variant (it protects an observable conversion).
     for name, cell in results.cells.items():
@@ -74,6 +76,6 @@ def test_dynamic_counts_differ_between_variants():
     """
     workload = Workload(name="spread", suite="jbytemark",
                         description="oracle test", source=source)
-    results = run_workload(workload)
+    results = measure_workload(workload)
     counts = {c.dyn_extend32 for c in results.cells.values()}
     assert len(counts) >= 3  # the variants genuinely differ

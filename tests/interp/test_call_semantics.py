@@ -81,7 +81,7 @@ class TestAbiCanonicality:
         callee's converted body relies on the ABI having canonicalized
         them — which the caller-side extension (kept by elimination
         because CALL args REQUIRE canonical values) guarantees."""
-        from repro.core import VARIANTS, compile_program
+        from repro.core import VARIANTS, compile_ir
 
         program = compile_source("""
             double toD(int x) { return (double) x; }
@@ -94,7 +94,7 @@ class TestAbiCanonicality:
             }
         """)
         gold = Interpreter(program, mode="ideal").run()
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = Interpreter(compiled.program).run()
         assert run.observable() == gold.observable()
         assert run.ret_value == -2.0

@@ -100,13 +100,13 @@ class TestClone:
 
     def test_machine_mode_runs_clone(self):
         # Conversion mutates in place; cloning keeps the source intact.
-        from repro.core import VARIANTS, compile_program
+        from repro.core import VARIANTS, compile_ir
 
         program = make_fig7_program(iterations=10)
         before = len(list(program.main.instructions()))
-        compile_program(program, VARIANTS["baseline"])
+        compile_ir(program, VARIANTS["baseline"])
         after = len(list(program.main.instructions()))
         assert before == after  # the source was cloned, not mutated
-        result = run_machine(compile_program(
+        result = run_machine(compile_ir(
             program, VARIANTS["baseline"]).program)
         assert result.observable() == run_ideal(program).observable()

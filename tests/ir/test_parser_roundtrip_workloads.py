@@ -30,11 +30,11 @@ def test_workload_roundtrip(name):
 def test_converted_program_roundtrip():
     """Post-pipeline IR (extensions, dummies removed, inlined bodies)
     also round-trips."""
-    from repro.core import VARIANTS, compile_program
+    from repro.core import VARIANTS, compile_ir
     from tests.conftest import run_machine
 
     original = get_workload("fourier").program()
-    compiled = compile_program(original, VARIANTS["new algorithm (all)"])
+    compiled = compile_ir(original, VARIANTS["new algorithm (all)"])
     text = format_program(compiled.program)
     reparsed = parse_program(text)
     verify_program(reparsed)

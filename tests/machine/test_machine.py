@@ -1,6 +1,6 @@
 """Tests for machine traits, cost model, and assembly-style lowering."""
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.frontend import compile_source
 from repro.machine import IA64, MACHINES, PPC64, LoadExt
 from repro.machine.costs import DEFAULT_COSTS, count_cycles
@@ -41,8 +41,8 @@ class TestCostModel:
         }
         """
         program = compile_source(source)
-        base = compile_program(program, VARIANTS["baseline"])
-        best = compile_program(program, VARIANTS["new algorithm (all)"])
+        base = compile_ir(program, VARIANTS["baseline"])
+        best = compile_ir(program, VARIANTS["new algorithm (all)"])
         base_run = run_machine(base.program)
         best_run = run_machine(best.program)
         base_cycles = count_cycles(base.program, base_run, IA64)
@@ -65,7 +65,7 @@ class TestLowering:
         }
         """
         program = compile_source(source)
-        return compile_program(program, VARIANTS[variant]).program.main
+        return compile_ir(program, VARIANTS[variant]).program.main
 
     def test_ia64_array_shape(self):
         """Figure 4(b): sxt4 + shladd for a baseline array access."""

@@ -128,7 +128,7 @@ class TestInlining:
     def test_enables_array_theorem_through_call(self):
         """The motivation: a helper's parameter index becomes provable
         after inlining."""
-        from repro.core import VARIANTS, compile_program
+        from repro.core import VARIANTS, compile_ir
         from repro.interp import Interpreter
 
         program = compile_source("""
@@ -143,7 +143,7 @@ class TestInlining:
             }
         """)
         gold = run_ideal(program)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = Interpreter(compiled.program).run()
         assert run.observable() == gold.observable()
         # Without inlining the call boundary would demand canonical

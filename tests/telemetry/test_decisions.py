@@ -8,7 +8,7 @@ non-empty reason chain for kept extensions.
 
 import dataclasses
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.ir import Cond, Opcode, Program, ScalarType, build_function
 from repro.telemetry import (
     CAUSE_ARRAY,
@@ -24,7 +24,7 @@ FULL_CFG = VARIANTS["new algorithm (all)"]
 
 def _compile_logged(program, config):
     telemetry = Telemetry("decisions-test")
-    compile_program(program, config, telemetry=telemetry)
+    compile_ir(program, config, telemetry=telemetry)
     return telemetry
 
 
@@ -203,7 +203,7 @@ class TestKeptRecords:
 
     def test_decisions_match_function_stats(self):
         telemetry = Telemetry()
-        compiled = compile_program(_count_down_program(), FULL_CFG,
+        compiled = compile_ir(_count_down_program(), FULL_CFG,
                                    telemetry=telemetry)
         stats = compiled.function_stats["main"]
         assert len(telemetry.decisions) == stats.candidates

@@ -3,7 +3,7 @@
 import dataclasses
 import json
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.interp import Interpreter
 from repro.telemetry import Telemetry, validate_telemetry_document
 from tests.conftest import make_fig7_program
@@ -18,7 +18,7 @@ def _span_names(telemetry):
 class TestSpans:
     def test_every_pipeline_phase_has_a_span(self):
         telemetry = Telemetry()
-        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        compile_ir(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
         names = _span_names(telemetry)
         for expected in ("compile", "inline", "function:main", "convert64",
                          "general-opts", "sign-ext", "insertion",
@@ -27,7 +27,7 @@ class TestSpans:
 
     def test_every_opt_pass_has_a_span(self):
         telemetry = Telemetry()
-        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        compile_ir(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
         names = set(_span_names(telemetry))
         for pass_name in ("constant-fold", "simplify", "copy-prop", "gcse",
                           "licm", "copy-prop-cleanup", "dce"):
@@ -35,7 +35,7 @@ class TestSpans:
 
     def test_spans_nest_under_compile(self):
         telemetry = Telemetry()
-        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        compile_ir(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
         assert [root.name for root in telemetry.tracer.roots] == ["compile"]
         function_spans = [c for c in telemetry.tracer.roots[0].children
                           if c.name.startswith("function:")]
@@ -45,7 +45,7 @@ class TestSpans:
 class TestMetrics:
     def test_static_before_after(self):
         telemetry = Telemetry()
-        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+        compiled = compile_ir(make_fig7_program(8), FULL_CFG,
                                    telemetry=telemetry)
         before = telemetry.metrics.counter_value(
             "compile.static_extends.before")
@@ -56,7 +56,7 @@ class TestMetrics:
 
     def test_candidate_and_elimination_counters(self):
         telemetry = Telemetry()
-        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+        compiled = compile_ir(make_fig7_program(8), FULL_CFG,
                                    telemetry=telemetry)
         stats = compiled.function_stats["main"]
         assert telemetry.metrics.counter_value(
@@ -68,7 +68,7 @@ class TestMetrics:
 
     def test_interpreter_metrics_sink(self):
         telemetry = Telemetry()
-        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+        compiled = compile_ir(make_fig7_program(8), FULL_CFG,
                                    telemetry=telemetry)
         run = Interpreter(compiled.program,
                           metrics=telemetry.metrics).run()
@@ -91,9 +91,9 @@ class TestDisabledTelemetry:
         for name in ("baseline", "first algorithm (bwd flow)",
                      "basic ud/du", "new algorithm (all)"):
             config = VARIANTS[name]
-            plain = compile_program(make_fig7_program(12), config)
+            plain = compile_ir(make_fig7_program(12), config)
             telemetry = Telemetry()
-            traced = compile_program(make_fig7_program(12), config,
+            traced = compile_ir(make_fig7_program(12), config,
                                      telemetry=telemetry)
             assert plain.static_extend_count == traced.static_extend_count
             for func_name, stats in plain.function_stats.items():
@@ -102,14 +102,14 @@ class TestDisabledTelemetry:
                 ), f"{name}/{func_name} stats diverged"
 
     def test_compile_result_telemetry_is_none_by_default(self):
-        compiled = compile_program(make_fig7_program(8), FULL_CFG)
+        compiled = compile_ir(make_fig7_program(8), FULL_CFG)
         assert compiled.telemetry is None
 
 
 class TestDocument:
     def test_full_document_validates(self):
         telemetry = Telemetry("doc-test")
-        compiled = compile_program(make_fig7_program(8), FULL_CFG,
+        compiled = compile_ir(make_fig7_program(8), FULL_CFG,
                                    telemetry=telemetry)
         Interpreter(compiled.program, metrics=telemetry.metrics).run()
         doc = json.loads(json.dumps(telemetry.to_dict()))
@@ -125,7 +125,7 @@ class TestDocument:
 
     def test_write_json(self, tmp_path):
         telemetry = Telemetry()
-        compile_program(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+        compile_ir(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
         path = tmp_path / "telemetry.json"
         telemetry.write_json(str(path))
         doc = json.loads(path.read_text())

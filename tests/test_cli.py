@@ -80,6 +80,65 @@ class TestBench:
         assert "unknown workload" in err
 
 
+class TestCompile:
+    def test_single_file(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "extends" in out
+        assert "eliminated" in out
+
+    def test_many_files_one_line_each(self, source_file, tmp_path, capsys):
+        other = tmp_path / "other.j32"
+        other.write_text(SOURCE.replace("* 5", "* 7"))
+        assert main(["compile", source_file, str(other)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("eliminated") == 2
+
+    def test_cache_cold_then_warm(self, source_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["compile", source_file, "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        assert "[cache: 0 hits, 1 misses]" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "[cache: 1 hits, 0 misses]" in capsys.readouterr().out
+
+    def test_stats_output(self, source_file, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        assert main(["compile", source_file, "--jobs", "1",
+                     "--stats", str(stats_path)]) == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["driver.pool.jobs"] == 1
+        assert stats["driver.pool.compiled{mode=inline}"] == 1
+
+
+class TestBenchDriver:
+    def test_bench_cache_warm_rerun_identical(self, tmp_path, capsys):
+        from repro.harness import strip_volatile
+
+        cache_dir = str(tmp_path / "cache")
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        base = ["bench", "fourier", "--cache", "--cache-dir", cache_dir]
+
+        assert main(base + ["--json", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "[cache: 0 hits, 12 misses]" in cold_out
+
+        assert main(base + ["--json", str(warm_json)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "[cache: 12 hits, 0 misses]" in warm_out
+
+        cold = strip_volatile(json.loads(cold_json.read_text()))
+        warm = strip_volatile(json.loads(warm_json.read_text()))
+        assert cold == warm
+
+    def test_bench_stats_file(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        assert main(["bench", "fourier", "--stats", str(stats_path)]) == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["driver.pool.jobs"] == 12
+
+
 class TestTelemetryFlag:
     def test_run_writes_telemetry_document(self, source_file, tmp_path,
                                            capsys):

@@ -1,0 +1,57 @@
+"""Every example must run as a plain script — no PYTHONPATH required.
+
+The examples bootstrap ``src/`` onto ``sys.path`` themselves when the
+package is not installed; these tests execute each one the way a reader
+would (``python examples/foo.py``) with a scrubbed environment.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300, env=env, cwd=REPO,
+    )
+
+
+@pytest.mark.parametrize("script, args, expect", [
+    ("quickstart.py", (), "dynamic 32-bit extensions"),
+    ("profile_guided.py", (), "profile-guided order determination"),
+    ("machine_codegen.py", (), "PPC64, full algorithm"),
+    ("benchmark_sweep.py", ("fourier",), "Dynamic 32-bit sign extensions"),
+])
+def test_example_runs_clean(script, args, expect):
+    result = _run(script, *args)
+    assert result.returncode == 0, result.stderr
+    assert expect in result.stdout
+
+
+def test_benchmark_sweep_cache_flag(tmp_path):
+    env = {k: v for k, v in os.environ.items() if k != "PYTHONPATH"}
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    argv = [sys.executable, str(EXAMPLES / "benchmark_sweep.py"),
+            "fourier", "--cache"]
+    cold = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=300, env=env, cwd=REPO)
+    assert cold.returncode == 0, cold.stderr
+    assert "[cache: 0 hits, 12 misses]" in cold.stdout
+    warm = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=300, env=env, cwd=REPO)
+    assert warm.returncode == 0, warm.stderr
+    assert "[cache: 12 hits, 0 misses]" in warm.stdout
+
+
+def test_benchmark_sweep_rejects_unknown_workload():
+    result = _run("benchmark_sweep.py", "doom")
+    assert result.returncode == 1
+    assert "unknown workload" in result.stdout

@@ -8,7 +8,7 @@ here we keep one fast full check per workload.)
 
 import pytest
 
-from repro.core import VARIANTS, compile_program
+from repro.core import VARIANTS, compile_ir
 from repro.ir import verify_program
 from repro.workloads import (
     JBYTEMARK,
@@ -63,7 +63,7 @@ class TestEachWorkload:
         workload = get_workload(name)
         program = workload.program()
         gold = run_ideal(program, fuel=10_000_000)
-        compiled = compile_program(program, VARIANTS["new algorithm (all)"])
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
         run = run_machine(compiled.program, fuel=10_000_000)
         assert run.observable() == gold.observable()
 
@@ -72,8 +72,8 @@ class TestEachWorkload:
         disappear on every benchmark."""
         workload = get_workload(name)
         program = workload.program()
-        base = compile_program(program, VARIANTS["baseline"])
-        best = compile_program(program, VARIANTS["new algorithm (all)"])
+        base = compile_ir(program, VARIANTS["baseline"])
+        best = compile_ir(program, VARIANTS["new algorithm (all)"])
         base_run = run_machine(base.program, fuel=10_000_000)
         best_run = run_machine(best.program, fuel=10_000_000)
         if base_run.extends32 == 0:
