@@ -18,27 +18,34 @@ Lower layers stay importable for IR-level work:
 * :mod:`repro.driver` — batch compilation: compile cache + process pool.
 * :mod:`repro.interp` — machine-faithful execution and measurement.
 * :mod:`repro.harness` — regenerate the paper's tables and figures.
+* :mod:`repro.fuzz` — differential fuzzing campaigns, divergence
+  corpus, and witness reduction (``repro.fuzz_campaign``).
 
 ``compile_program`` and ``run_workload`` are the pre-facade entry
 points; they still work but raise :class:`DeprecationWarning` (see
 docs/API.md for the deprecation policy).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .api import (  # noqa: E402
+    CampaignConfig,
+    CampaignResult,
     CompileOptions,
     CompileResult,
     RunResult,
     SuiteResult,
     bench,
     compile,
+    fuzz_campaign,
     run,
 )
 from .core import SignExtConfig, VARIANTS, compile_program  # noqa: E402
 from .harness import run_workload  # noqa: E402
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
     "CompileOptions",
     "CompileResult",
     "RunResult",
@@ -49,6 +56,7 @@ __all__ = [
     "bench",
     "compile",
     "compile_program",
+    "fuzz_campaign",
     "run",
     "run_workload",
 ]

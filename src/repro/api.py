@@ -33,6 +33,8 @@ from .core.config import CompileOptions, SignExtConfig
 from .core.pipeline import CompileResult, compile_ir
 from .driver import BatchCompiler, CompileCache, CompileJob, default_cache_dir
 from .frontend import compile_source
+from .fuzz import CampaignConfig, CampaignResult
+from .fuzz import run_campaign as _run_campaign
 from .harness import (
     SoundnessError,
     WorkloadResults,
@@ -46,6 +48,8 @@ from .telemetry import Telemetry
 from .workloads import Workload, get_workload
 
 __all__ = [
+    "CampaignConfig",
+    "CampaignResult",
     "CompileOptions",
     "CompileResult",
     "RunResult",
@@ -53,6 +57,7 @@ __all__ = [
     "bench",
     "compile",
     "driver_from_options",
+    "fuzz_campaign",
     "run",
 ]
 
@@ -247,3 +252,19 @@ def bench(
             driver=driver,
         )
         return SuiteResult(results=results, driver_stats=driver.stats())
+
+
+def fuzz_campaign(
+    config: CampaignConfig | None = None,
+    *,
+    telemetry: Telemetry | None = None,
+) -> CampaignResult:
+    """Run one differential fuzzing campaign (see :mod:`repro.fuzz`).
+
+    Generates seeded J32 programs, compiles every (variant, machine)
+    cell through the batch driver, and checks each cell against the
+    unoptimized gold run.  Divergences persist to the on-disk corpus
+    and — unless ``config.reduce`` is off — are shrunk to minimal
+    witnesses; known witnesses replay as regressions first.
+    """
+    return _run_campaign(config, telemetry=telemetry)

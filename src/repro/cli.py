@@ -10,6 +10,7 @@ Usage::
     python -m repro compile a.j32 b.j32 --jobs 2 --cache
     python -m repro bench huffman --jobs 2 --cache
     python -m repro trace program.j32 --out trace.json   # about://tracing
+    python -m repro fuzz --seeds 1000 --jobs 4           # differential fuzz
 
 Every subcommand builds one :class:`repro.CompileOptions` from its
 flags (`CompileOptions.from_cli_args`) and goes through the
@@ -249,6 +250,62 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a differential fuzzing campaign (see docs/FUZZING.md)."""
+    from .fuzz import CampaignConfig
+
+    config = CampaignConfig(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        jobs=args.jobs,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        variants=tuple(args.variant) if args.variant else tuple(VARIANTS),
+        machines=tuple(args.machines),
+        fuel=args.fuel,
+        reduce=args.reduce,
+        inject_bug=args.inject_bug,
+        replay_only=args.replay,
+        max_divergences=args.max_divergences,
+    )
+    telemetry = (Telemetry(label="fuzz-campaign")
+                 if args.telemetry is not None else None)
+    result = api.fuzz_campaign(config, telemetry=telemetry)
+
+    cells = len(config.cell_configs())
+    print(f"corpus    : {result.corpus_dir} "
+          f"({result.regressions_checked} witnesses replayed, "
+          f"{result.regressions_failing} still failing)")
+    if not args.replay:
+        print(f"seeds     : {result.seeds_run} fuzzed "
+              f"({result.skipped_seeds} skipped), "
+              f"{cells} cells each, {result.cells_checked} cells checked")
+    print(f"duration  : {result.duration:.2f}s"
+          + (" (time budget exhausted)" if result.budget_exhausted else ""))
+    if result.divergences:
+        kinds = ", ".join(f"{kind}: {count}" for kind, count
+                          in sorted(result.divergence_kinds().items()))
+        print(f"DIVERGED  : {len(result.divergences)} new witnesses "
+              f"({kinds})")
+        for witness in result.divergences:
+            ratio = witness.reduction_ratio()
+            shrink = (f", reduced to {100 * ratio:.0f}% "
+                      f"({len(witness.reduced_source)} bytes)"
+                      if ratio is not None else "")
+            print(f"  seed {witness.seed:>6d}  {witness.variant} / "
+                  f"{witness.machine}  [{witness.kind}] "
+                  f"{len(witness.source)} bytes{shrink}")
+    else:
+        print("divergence: none")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[campaign report written to {args.json}]")
+    _finish_telemetry(args, telemetry)
+    return 0 if result.ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a whole suite and write tables, figures, and JSON."""
     from .harness import (
@@ -353,6 +410,57 @@ def main(argv: list[str] | None = None) -> int:
                               help="collect + write per-variant telemetry")
     _driver_args(bench_parser)
     bench_parser.set_defaults(fn=cmd_bench)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="differential fuzzing campaign across all variants "
+                     "and machine lowerings"
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=1000,
+                             help="number of consecutive generator seeds")
+    fuzz_parser.add_argument("--seed-start", type=int, default=0,
+                             metavar="N", help="first seed (shards the "
+                             "seed space across campaigns)")
+    fuzz_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="compile over N worker processes")
+    fuzz_parser.add_argument("--time-budget", type=float, default=None,
+                             metavar="SEC",
+                             help="stop fuzzing new seeds after SEC "
+                                  "seconds of wall clock")
+    fuzz_parser.add_argument("--corpus-dir", default=None, metavar="DIR",
+                             help="divergence corpus location (default "
+                                  "~/.cache/repro/fuzz-corpus)")
+    fuzz_parser.add_argument("--variant", action="append", default=None,
+                             choices=sorted(VARIANTS), metavar="NAME",
+                             help="restrict to this variant (repeatable; "
+                                  "default: all 12)")
+    fuzz_parser.add_argument("--machines", nargs="+",
+                             default=["ia64", "ppc64"],
+                             choices=sorted(MACHINES),
+                             help="machine lowerings to cross-check")
+    fuzz_parser.add_argument("--fuel", type=int, default=2_000_000,
+                             help="interpreter step budget per execution")
+    fuzz_parser.add_argument("--reduce",
+                             action=argparse.BooleanOptionalAction,
+                             default=True,
+                             help="shrink new witnesses with the "
+                                  "delta-debugging reducer")
+    fuzz_parser.add_argument("--replay", action="store_true",
+                             help="only replay corpus witnesses as "
+                                  "regressions; fuzz no new seeds")
+    fuzz_parser.add_argument("--max-divergences", type=int, default=None,
+                             metavar="N",
+                             help="stop after N new divergences")
+    fuzz_parser.add_argument("--inject-bug", action="store_true",
+                             help="DEBUG: compile with a deliberately "
+                                  "broken AnalyzeDEF to self-test the "
+                                  "campaign oracle")
+    fuzz_parser.add_argument("--json", default=None, metavar="OUT.JSON",
+                             help="write the campaign report here")
+    fuzz_parser.add_argument("--telemetry", default=None,
+                             metavar="OUT.JSON",
+                             help="write the full telemetry document "
+                                  "(spans + fuzz.campaign.* counters)")
+    fuzz_parser.set_defaults(fn=cmd_fuzz)
 
     report_parser = subparsers.add_parser(
         "report", help="run a whole suite; write tables, figures, JSON"

@@ -317,6 +317,12 @@ class Eliminator:
         return result
 
     def _analyze_def_uncached(self, instr: Instr, width: int) -> bool:
+        if self.config.debug_skip_def_check:
+            # Fault injection (see SignExtConfig.debug_skip_def_check):
+            # pretend every definition already produces a canonical
+            # value.  The fuzz campaign's oracle must catch the
+            # resulting miscompiles.
+            return False
         guaranteed = canonical_bits(instr, self.traits,
                                     self.ranges.const_of_use)
         if guaranteed is not None and guaranteed <= width:

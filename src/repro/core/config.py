@@ -48,6 +48,11 @@ class SignExtConfig:
     theorems: frozenset[int] = frozenset({1, 2, 3, 4})
     #: use interpreter-collected branch profiles for order determination
     use_profile: bool = True
+    #: DEBUG ONLY — fault injection for the fuzz campaign: AnalyzeDEF
+    #: unconditionally reports every reaching definition as canonical,
+    #: which deliberately miscompiles most programs.  Never set outside
+    #: ``repro fuzz --inject-bug`` and the reducer tests.
+    debug_skip_def_check: bool = False
     traits: MachineTraits = field(default=IA64)
 
     def with_traits(self, traits: MachineTraits) -> "SignExtConfig":

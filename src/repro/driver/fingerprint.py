@@ -66,6 +66,7 @@ def fingerprint_config(config: SignExtConfig) -> str:
         config.max_array_length,
         sorted(config.theorems),
         config.use_profile,
+        config.debug_skip_def_check,
         _traits_fields(config.traits),
     ]
     return _digest(repr(fields))

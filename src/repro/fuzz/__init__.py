@@ -1,0 +1,62 @@
+"""Differential fuzzing: campaign orchestration, divergence corpus,
+delta-debugging reduction.
+
+The subsystem scales the repository's soundness oracle from "a handful
+of property-test seeds" to "thousands of generated programs across
+every variant and machine lowering", with every divergence persisted,
+shrunk to a minimal witness, and replayed as a regression on the next
+run.  See docs/FUZZING.md for the workflow and ``repro fuzz --help``
+for the CLI.
+"""
+
+from .campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    FRONTEND_VARIANT,
+    run_campaign,
+)
+from .corpus import Corpus, Witness, default_corpus_dir, witness_id
+from .oracle import (
+    ALL_KINDS,
+    KIND_COST,
+    KIND_CRASH,
+    KIND_HEAP,
+    KIND_LOWERING,
+    KIND_OUTPUT,
+    KIND_TRAP,
+    Observation,
+    check_compiled,
+    check_cost_model,
+    check_lowering,
+    compare_observations,
+    observe,
+)
+from .reducer import ReductionResult, reduce_source
+
+__all__ = [
+    "ALL_KINDS",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "Corpus",
+    "FRONTEND_VARIANT",
+    "KIND_COST",
+    "KIND_CRASH",
+    "KIND_HEAP",
+    "KIND_LOWERING",
+    "KIND_OUTPUT",
+    "KIND_TRAP",
+    "Observation",
+    "ReductionResult",
+    "Witness",
+    "check_compiled",
+    "check_cost_model",
+    "check_lowering",
+    "compare_observations",
+    "default_corpus_dir",
+    "observe",
+    "reduce_source",
+    "run_campaign",
+    "witness_id",
+]

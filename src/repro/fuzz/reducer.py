@@ -1,0 +1,203 @@
+"""Delta-debugging reduction of divergence witnesses.
+
+Given a J32 source that provokes a divergence and a predicate that
+replays it (``still_fails(source) -> bool``), the reducer shrinks the
+source to a small witness while the predicate keeps holding.  Three
+transformation families run to a combined fixpoint:
+
+* **statement/loop removal** — brace-balanced chunks of lines (a single
+  statement, or a whole ``if``/loop with its body) are deleted,
+  largest-first, classic ddmin style;
+* **block unwrapping** — a loop or conditional header and its closing
+  brace are removed while the body is kept, which exposes the body's
+  statements to further removal;
+* **expression simplification** — innermost parenthesized expressions
+  are replaced by one of their operands or by ``0``.
+
+Every candidate is validated by the predicate, which must re-run the
+frontend and the differential oracle, so an illegal candidate (deleting
+a declaration that is still used, unbalancing braces) is simply
+rejected — the reducer never needs to understand J32 scoping itself.
+The result is not guaranteed minimal, only small; the campaign's
+acceptance bar is a witness no larger than a quarter of the original.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+#: ``(operand) (binop) (operand)`` inside an innermost parenthesis.
+_BINOP = re.compile(
+    r"^\s*(-?\w+)\s*(\+|-|\*|/|%|&|\||\^|<<|>>>|>>)\s*(-?\w+)\s*$"
+)
+_INNER_PARENS = re.compile(r"\(([^()]*)\)")
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction."""
+
+    original: str
+    reduced: str
+    #: predicate evaluations spent
+    attempts: int
+    #: accepted transformations
+    accepted: int
+    #: the original source reproduced the divergence at all
+    reproduced: bool
+
+    @property
+    def ratio(self) -> float:
+        """``len(reduced) / len(original)`` (1.0 = no shrink)."""
+        if not self.original:
+            return 1.0
+        return len(self.reduced) / len(self.original)
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _chunks(lines: list[str]) -> list[tuple[int, int]]:
+    """Brace-balanced half-open line ranges, innermost-last.
+
+    A line with net-zero brace delta is a one-line chunk; a line that
+    opens a block yields a chunk running through its matching close.
+    """
+    deltas = [line.count("{") - line.count("}") for line in lines]
+    chunks: list[tuple[int, int]] = []
+    for start, delta in enumerate(deltas):
+        if not lines[start].strip():
+            continue
+        if delta == 0:
+            chunks.append((start, start + 1))
+        elif delta > 0:
+            depth = delta
+            for end in range(start + 1, len(lines)):
+                depth += deltas[end]
+                if depth <= 0:
+                    chunks.append((start, end + 1))
+                    break
+    return chunks
+
+
+def _remove(lines: list[str], chunk: tuple[int, int]) -> list[str]:
+    return lines[:chunk[0]] + lines[chunk[1]:]
+
+
+def _unwrap(lines: list[str], chunk: tuple[int, int]) -> list[str] | None:
+    """Drop a block's header and closing brace, keeping the body."""
+    start, end = chunk
+    if end - start < 3:
+        return None
+    if "{" not in lines[start] or "}" not in lines[end - 1]:
+        return None
+    return lines[:start] + lines[start + 1:end - 1] + lines[end:]
+
+
+def reduce_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    *,
+    max_attempts: int = 3000,
+) -> ReductionResult:
+    """Shrink ``source`` while ``still_fails`` keeps returning True."""
+    budget = _Budget(max_attempts)
+    accepted = 0
+
+    budget.take()
+    if not still_fails(source):
+        return ReductionResult(original=source, reduced=source,
+                               attempts=budget.spent, accepted=0,
+                               reproduced=False)
+
+    lines = [line for line in source.splitlines() if line.strip()]
+    if "\n".join(lines) + "\n" != source:
+        # Blank-line normalization must itself keep reproducing.
+        budget.take()
+        if not still_fails("\n".join(lines) + "\n"):
+            lines = source.splitlines()
+
+    def attempt(candidate_lines: list[str]) -> bool:
+        nonlocal accepted
+        if not budget.take():
+            return False
+        if still_fails("\n".join(candidate_lines) + "\n"):
+            # In-place so every helper holding this list sees the
+            # accepted candidate (rebinding would leave
+            # _simplify_expressions scanning a stale copy).
+            lines[:] = candidate_lines
+            accepted += 1
+            return True
+        return False
+
+    progress = True
+    while progress and budget.spent < budget.limit:
+        progress = False
+        # Phase 1: chunk removal, largest chunks first.
+        removed = True
+        while removed and budget.spent < budget.limit:
+            removed = False
+            for chunk in sorted(_chunks(lines),
+                                key=lambda c: c[0] - c[1]):
+                if attempt(_remove(lines, chunk)):
+                    removed = progress = True
+                    break
+        # Phase 2: block unwrapping (exposes bodies to phase 1).
+        unwrapped = True
+        while unwrapped and budget.spent < budget.limit:
+            unwrapped = False
+            for chunk in _chunks(lines):
+                candidate = _unwrap(lines, chunk)
+                if candidate is not None and attempt(candidate):
+                    unwrapped = progress = True
+                    break
+        # Phase 3: expression simplification, line by line.
+        if _simplify_expressions(lines, attempt, budget):
+            progress = True
+
+    reduced = "\n".join(lines) + "\n"
+    return ReductionResult(original=source, reduced=reduced,
+                           attempts=budget.spent, accepted=accepted,
+                           reproduced=True)
+
+
+def _simplify_expressions(lines: list[str], attempt, budget: _Budget) -> bool:
+    """Replace innermost parenthesized expressions with something smaller."""
+    progress = False
+    changed = True
+    while changed and budget.spent < budget.limit:
+        changed = False
+        for index, line in enumerate(lines):
+            for match in _INNER_PARENS.finditer(line):
+                inner = match.group(1)
+                replacements = []
+                binop = _BINOP.match(inner)
+                if binop is not None:
+                    replacements = [binop.group(1), binop.group(3)]
+                if inner.strip() != "0":
+                    replacements.append("0")
+                for replacement in replacements:
+                    candidate = list(lines)
+                    candidate[index] = (line[:match.start()] + replacement
+                                       + line[match.end():])
+                    if candidate[index] == line:
+                        continue
+                    if attempt(candidate):
+                        changed = progress = True
+                        break
+                if changed:
+                    break
+            if changed:
+                break
+    return progress

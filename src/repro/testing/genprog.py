@@ -69,6 +69,15 @@ class ProgramGenerator:
 
     def index_expr(self) -> str:
         """An in-bounds array index (masked to the power-of-two length)."""
+        rng = self.rng
+        if rng.random() < 0.25:
+            # >>> on a guaranteed-negative value: the unsigned shift
+            # zero-fills from bit 31, so the subscript is only correct
+            # if the shift really consumed a canonical register.
+            var = rng.choice(_INT_VARS)
+            amount = rng.randrange(1, 31)
+            return (f"((({var} | -2147483648) >>> {amount}) "
+                    f"& {self.array_len - 1})")
         return f"(({self.int_expr(2)}) & {self.array_len - 1})"
 
     def condition(self) -> str:
@@ -98,18 +107,27 @@ class ProgramGenerator:
                     + [f"{pad}}} else {{"] + other + [f"{pad}}}"])
         if kind == 7 and self._loop_depth < self.max_loops and depth < 2:
             self._loop_depth += 1
-            loop_var = f"i{self._loop_depth}"
+            shape = rng.randrange(5)
+            mask = self.array_len - 1
+            # Shape 4 counts down over a *long* induction variable that
+            # is narrowed to an int subscript; the others use int.
+            loop_var = (f"j{self._loop_depth}" if shape == 4
+                        else f"i{self._loop_depth}")
             trips = rng.randrange(2, 9)
             body = []
             for _ in range(rng.randrange(1, 3)):
                 body.extend(self.statement(depth + 1))
             use = rng.choice(_INT_VARS)
-            body.append(f"{'    ' * (depth + 2)}{use} += "
-                        f"arr[({loop_var} + {rng.randrange(8)}) "
-                        f"& {self.array_len - 1}];")
-            self._loop_depth -= 1
-            shape = rng.randrange(4)
             inner = "    " * (depth + 2)
+            narrowed = f"(int) {loop_var}" if shape == 4 else loop_var
+            body.append(f"{inner}{use} += "
+                        f"arr[({narrowed} + {rng.randrange(8)}) & {mask}];")
+            if shape in (1, 3, 4):
+                # Array store inside a count-down loop, indexed by the
+                # downward induction variable (AnalyzeARRAY Theorem 3/4).
+                body.append(f"{inner}arr[({narrowed} + {rng.randrange(4)}) "
+                            f"& {mask}] = {self.int_expr(2)};")
+            self._loop_depth -= 1
             if shape == 0:  # count-up for
                 head = (f"{pad}for (int {loop_var} = 0; {loop_var} < {trips}; "
                         f"{loop_var}++) {{")
@@ -117,6 +135,10 @@ class ProgramGenerator:
             if shape == 1:  # count-down for
                 head = (f"{pad}for (int {loop_var} = {trips}; {loop_var} > 0; "
                         f"{loop_var}--) {{")
+                return [head] + body + [f"{pad}}}"]
+            if shape == 4:  # count-down for over a long induction variable
+                head = (f"{pad}for (long {loop_var} = {trips}L; "
+                        f"{loop_var} > 0L; {loop_var}--) {{")
                 return [head] + body + [f"{pad}}}"]
             if shape == 2:  # while
                 return ([f"{pad}{{", f"{pad}int {loop_var} = 0;",

@@ -1,0 +1,135 @@
+"""End-to-end campaign tests: clean runs, the injected miscompile,
+regression replay, and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz import CampaignConfig, run_campaign
+from repro.telemetry import Telemetry
+
+#: Small-but-real cell grid: one interesting variant, one baseline,
+#: one machine.  Keeps each campaign to about a second.
+FAST = dict(variants=("new algorithm (all)", "baseline"),
+            machines=("ia64",), jobs=1)
+
+
+class TestCleanCampaign:
+    def test_finds_nothing_on_main(self, tmp_path):
+        config = CampaignConfig(seeds=10, corpus_dir=str(tmp_path), **FAST)
+        result = run_campaign(config)
+        assert result.ok
+        assert result.divergences == []
+        assert result.seeds_run == 10
+        assert result.cells_checked == 20
+        assert result.stats["fuzz.campaign.seeds"] == 10
+        assert result.stats["fuzz.campaign.cells"] == 20
+        assert result.stats["fuzz.campaign.gold_runs"] == 10
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_telemetry_counters_and_spans(self, tmp_path):
+        telemetry = Telemetry(label="campaign-test")
+        config = CampaignConfig(seeds=4, corpus_dir=str(tmp_path), **FAST)
+        result = run_campaign(config, telemetry=telemetry)
+        assert result.ok
+        counters = telemetry.metrics.as_dict()["counters"]
+        assert counters["fuzz.campaign.seeds"] == 4
+        names = {span.name for span in telemetry.tracer.walk()}
+        assert {"fuzz.campaign", "fuzz.generate", "fuzz.compile",
+                "fuzz.check"} <= names
+
+    def test_time_budget_stops_early(self, tmp_path):
+        config = CampaignConfig(seeds=100_000, corpus_dir=str(tmp_path),
+                                time_budget=0.0, **FAST)
+        result = run_campaign(config)
+        assert result.budget_exhausted
+        assert result.seeds_run < 100_000
+
+    def test_rejects_unknown_cells(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(variants=("no such variant",))
+        with pytest.raises(ValueError):
+            CampaignConfig(machines=("vax",))
+
+
+class TestInjectedBug:
+    """The campaign must catch a deliberately broken AnalyzeDEF and
+    shrink the witness — the subsystem's own end-to-end soundness check
+    (ISSUE acceptance: reduced witness <= 25% of the original)."""
+
+    @pytest.fixture(scope="class")
+    def bug_run(self, tmp_path_factory):
+        corpus_dir = tmp_path_factory.mktemp("bug-corpus")
+        config = CampaignConfig(
+            seeds=40, corpus_dir=str(corpus_dir), inject_bug=True,
+            variants=("new algorithm (all)",), machines=("ia64",),
+            max_divergences=1,
+        )
+        return corpus_dir, run_campaign(config)
+
+    def test_campaign_finds_the_miscompile(self, bug_run):
+        corpus_dir, result = bug_run
+        assert not result.ok
+        assert len(result.divergences) >= 1
+        witness = result.divergences[0]
+        assert witness.kind in ("output", "heap", "trap")
+        assert len(list(corpus_dir.glob("*.json"))) >= 1
+
+    def test_witness_is_reduced_below_bound(self, bug_run):
+        _, result = bug_run
+        witness = result.divergences[0]
+        ratio = witness.reduction_ratio()
+        assert ratio is not None
+        assert ratio <= 0.25
+        assert "void main()" in witness.reduced_source
+
+    def test_replay_fails_while_bug_present(self, bug_run):
+        corpus_dir, _ = bug_run
+        replay = run_campaign(CampaignConfig(
+            seeds=0, corpus_dir=str(corpus_dir), replay_only=True,
+            inject_bug=True,
+            variants=("new algorithm (all)",), machines=("ia64",)))
+        assert replay.regressions_checked >= 1
+        assert replay.regressions_failing >= 1
+        assert not replay.ok
+
+    def test_replay_passes_once_bug_is_fixed(self, bug_run):
+        corpus_dir, _ = bug_run
+        replay = run_campaign(CampaignConfig(
+            seeds=0, corpus_dir=str(corpus_dir), replay_only=True,
+            variants=("new algorithm (all)",), machines=("ia64",)))
+        assert replay.regressions_checked >= 1
+        assert replay.regressions_failing == 0
+        assert replay.ok
+
+
+class TestCli:
+    def test_fuzz_subcommand_clean(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(["fuzz", "--seeds", "5",
+                     "--corpus-dir", str(tmp_path / "corpus"),
+                     "--variant", "new algorithm (all)",
+                     "--machines", "ia64",
+                     "--json", str(report)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "divergence: none" in out
+        document = json.loads(report.read_text())
+        assert document["ok"] is True
+        assert document["seeds_run"] == 5
+
+    def test_fuzz_subcommand_reports_injected_bug(self, tmp_path, capsys):
+        code = main(["fuzz", "--seeds", "20", "--inject-bug",
+                     "--corpus-dir", str(tmp_path / "corpus"),
+                     "--variant", "new algorithm (all)",
+                     "--machines", "ia64",
+                     "--max-divergences", "1"])
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_fuzz_replay_on_empty_corpus(self, tmp_path, capsys):
+        code = main(["fuzz", "--replay",
+                     "--corpus-dir", str(tmp_path / "corpus")])
+        assert code == 0
+        assert "0 witnesses replayed" in capsys.readouterr().out

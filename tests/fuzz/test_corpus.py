@@ -1,0 +1,70 @@
+"""Tests for the on-disk divergence corpus."""
+
+import json
+
+import repro
+from repro.fuzz import Corpus, Witness, witness_id
+
+
+def _witness(**overrides):
+    fields = dict(seed=42, variant="new algorithm (all)", machine="ia64",
+                  kind="output", detail="checksum changed",
+                  source="void main() { sink(1); }\n")
+    fields.update(overrides)
+    return Witness(**fields)
+
+
+class TestWitness:
+    def test_id_is_content_addressed(self):
+        assert _witness().id == _witness().id
+        assert _witness().id != _witness(source="void main() {}\n").id
+        assert _witness().id != _witness(machine="ppc64").id
+        assert _witness().id == witness_id(
+            _witness().source, "new algorithm (all)", "ia64", "output")
+
+    def test_best_source_prefers_reduction(self):
+        plain = _witness()
+        assert plain.best_source == plain.source
+        assert plain.reduction_ratio() is None
+        reduced = _witness(reduced_source="void main() { }\n")
+        assert reduced.best_source == reduced.reduced_source
+        assert 0 < reduced.reduction_ratio() < 1
+
+    def test_dict_roundtrip_ignores_unknown_keys(self):
+        document = _witness().to_dict()
+        document["added_by_some_future_version"] = True
+        back = Witness.from_dict(document)
+        assert back.seed == 42
+        assert back.id == _witness().id
+
+
+class TestCorpus:
+    def test_add_and_reload(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        witness = _witness()
+        path = corpus.add(witness)
+        assert path.exists()
+        assert witness.package_version == repro.__version__
+        entries = corpus.entries()
+        assert len(entries) == 1
+        assert entries[0].source == witness.source
+        assert entries[0].package_version == repro.__version__
+
+    def test_same_divergence_updates_in_place(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.add(_witness(detail="first sighting"))
+        corpus.add(_witness(detail="seen again"))
+        assert len(corpus) == 1
+        assert corpus.entries()[0].detail == "seen again"
+
+    def test_unreadable_entries_are_skipped(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.add(_witness())
+        (tmp_path / "garbage.json").write_text("{not json")
+        (tmp_path / "wrong-shape.json").write_text(json.dumps([1, 2]))
+        assert len(corpus.entries()) == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        corpus = Corpus(tmp_path / "never-created")
+        assert corpus.entries() == []
+        assert len(corpus) == 0

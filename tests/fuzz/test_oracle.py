@@ -1,0 +1,113 @@
+"""Unit tests for the differential oracle."""
+
+from repro.core import VARIANTS, compile_ir
+from repro.frontend import compile_source
+from repro.fuzz import (
+    KIND_HEAP,
+    KIND_OUTPUT,
+    KIND_TRAP,
+    Observation,
+    check_compiled,
+    check_cost_model,
+    check_lowering,
+    compare_observations,
+    observe,
+)
+from repro.interp import Interpreter
+from repro.machine import MACHINES
+
+CLEAN = """
+void main() {
+    int[] arr = new int[16];
+    int total = 0;
+    for (int i = 0; i < 16; i++) { arr[i] = (byte)(i * 37); }
+    for (int i = 0; i < 16; i++) { total += arr[i]; }
+    sink(total);
+}
+"""
+
+TRAPPING = """
+void main() {
+    int[] arr = new int[4];
+    sink(arr[9]);
+}
+"""
+
+
+def _observation(**overrides):
+    base = dict(status="ok", checksum=1, ret_value=None, heap=(),
+                trap=None, steps=10, extends32=0)
+    base.update(overrides)
+    return Observation(**base)
+
+
+class TestObserve:
+    def test_ideal_and_compiled_machine_run_agree(self):
+        # Machine mode is only behaviour-preserving for *converted* IR,
+        # so the gold run is compared against a compiled baseline.
+        program = compile_source(CLEAN, "clean")
+        gold = observe(program, mode="ideal")
+        compiled = compile_ir(program, VARIANTS["baseline"])
+        machine = observe(compiled.program, mode="machine")
+        assert gold.status == machine.status == "ok"
+        assert compare_observations(gold, machine) is None
+        assert gold.heap  # the allocated array is captured
+
+    def test_trapping_program_observed_not_raised(self):
+        program = compile_source(TRAPPING, "trapping")
+        gold = observe(program, mode="ideal")
+        assert gold.status != "ok"
+        assert gold.trap
+        # Both modes trap identically -> no divergence.
+        assert compare_observations(gold,
+                                    observe(program, mode="machine")) is None
+
+    def test_fuel_exhaustion_is_an_observation(self):
+        program = compile_source(CLEAN, "clean")
+        starved = observe(program, mode="ideal", fuel=3)
+        assert starved.status == "fuel"
+
+
+class TestCompareObservations:
+    def test_status_mismatch_is_trap_kind(self):
+        kind, detail = compare_observations(
+            _observation(), _observation(status="trap", trap="Trap: x"))
+        assert kind == KIND_TRAP
+        assert "Trap: x" in detail
+
+    def test_trap_message_mismatch(self):
+        kind, _ = compare_observations(
+            _observation(status="trap", trap="Trap: a"),
+            _observation(status="trap", trap="Trap: b"))
+        assert kind == KIND_TRAP
+
+    def test_checksum_mismatch_is_output_kind(self):
+        kind, _ = compare_observations(_observation(),
+                                       _observation(checksum=2))
+        assert kind == KIND_OUTPUT
+
+    def test_heap_mismatch_is_heap_kind(self):
+        kind, detail = compare_observations(
+            _observation(heap=(("int", (1, 2)),)),
+            _observation(heap=(("int", (1, 3)),)))
+        assert kind == KIND_HEAP
+        assert "[1]" in detail
+
+    def test_identical_observations_do_not_diverge(self):
+        assert compare_observations(_observation(), _observation()) is None
+
+
+class TestConsistencyChecks:
+    def test_compiled_program_passes_every_check(self):
+        program = compile_source(CLEAN, "clean")
+        gold = observe(program, mode="ideal")
+        for machine in ("ia64", "ppc64"):
+            traits = MACHINES[machine]
+            config = VARIANTS["new algorithm (all)"].with_traits(traits)
+            compiled = compile_ir(program, config)
+            assert check_lowering(compiled.program, traits) is None
+            result = Interpreter(compiled.program, traits=traits,
+                                 fuel=2_000_000).run()
+            assert check_cost_model(compiled.program, result, traits) is None
+            assert check_compiled(gold, compiled.program, traits,
+                                  2_000_000) is None

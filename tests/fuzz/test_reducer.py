@@ -1,0 +1,78 @@
+"""Tests for the delta-debugging reducer (synthetic predicates only;
+end-to-end reduction of real miscompiles lives in test_campaign.py)."""
+
+from repro.fuzz import reduce_source
+
+PROGRAM = """\
+void main() {
+    int[] arr = new int[16];
+    int total = 0;
+    for (int i = 0; i < 16; i++) {
+        arr[i] = i * 3;
+        total += arr[i];
+    }
+    int needle = (total + (7 * 3));
+    sink(needle);
+    sink(total);
+}
+"""
+
+
+class TestReduceSource:
+    def test_shrinks_to_needle(self):
+        outcome = reduce_source(PROGRAM,
+                                lambda s: "needle" in s)
+        assert outcome.reproduced
+        assert "needle" in outcome.reduced
+        assert outcome.ratio < 0.5
+        # The loop and the unrelated sinks are gone.
+        assert "for (" not in outcome.reduced
+        assert outcome.reduced.count("sink") <= 1
+
+    def test_unwraps_enclosing_blocks(self):
+        nested = ("void main() {\n"
+                  "    for (int i = 0; i < 4; i++) {\n"
+                  "        sink(needle);\n"
+                  "    }\n"
+                  "}\n")
+        outcome = reduce_source(nested, lambda s: "needle" in s)
+        assert outcome.reproduced
+        assert "for (" not in outcome.reduced
+        assert "needle" in outcome.reduced
+
+    def test_simplifies_expressions(self):
+        source = "int x = (needle + (12345 * 678));\n"
+        outcome = reduce_source(source, lambda s: "needle" in s)
+        assert outcome.reproduced
+        assert "needle" in outcome.reduced
+        assert "12345" not in outcome.reduced
+
+    def test_non_reproducing_source_is_untouched(self):
+        outcome = reduce_source(PROGRAM, lambda s: False)
+        assert not outcome.reproduced
+        assert outcome.reduced == PROGRAM
+        assert outcome.attempts == 1
+
+    def test_attempt_budget_is_respected(self):
+        calls = []
+
+        def predicate(source):
+            calls.append(source)
+            return True
+
+        outcome = reduce_source(PROGRAM, predicate, max_attempts=5)
+        assert outcome.attempts <= 5
+        assert len(calls) <= 5
+
+    def test_candidates_are_validated_not_trusted(self):
+        # A predicate that rejects unbalanced or main-less candidates
+        # mimics the real frontend gate: the result must still satisfy it.
+        def predicate(source):
+            return ("needle" in source
+                    and source.count("{") == source.count("}")
+                    and "void main()" in source)
+
+        outcome = reduce_source(PROGRAM, predicate)
+        assert outcome.reproduced
+        assert predicate(outcome.reduced)
+        assert outcome.ratio <= 1.0
