@@ -41,7 +41,7 @@ from .harness import (
     results_to_dict,
     run_suite,
 )
-from .interp import Interpreter
+from .interp import default_translation_cache, execute
 from .ir.function import Program
 from .machine.costs import CycleReport, count_cycles
 from .telemetry import Telemetry
@@ -167,12 +167,13 @@ def run(
     program = _coerce_program(source)
     traits = config.traits if config is not None else options.traits()
 
-    gold = Interpreter(program, mode="ideal", fuel=options.fuel).run()
+    gold = execute(program, engine=options.engine, mode="ideal",
+                   fuel=options.fuel)
     compiled = compile(program, options, config=config)
     metrics = (compiled.telemetry.metrics
                if compiled.telemetry is not None else None)
-    execution = Interpreter(compiled.program, traits=traits,
-                            fuel=options.fuel, metrics=metrics).run()
+    execution = execute(compiled.program, engine=options.engine,
+                        traits=traits, fuel=options.fuel, metrics=metrics)
     if execution.observable() != gold.observable():
         raise SoundnessError(
             f"{program.name}: observable behaviour changed "
@@ -250,8 +251,11 @@ def bench(
             fuel=options.fuel,
             collect_telemetry=options.telemetry,
             driver=driver,
+            engine=options.engine,
         )
-        return SuiteResult(results=results, driver_stats=driver.stats())
+        stats = dict(driver.stats())
+        stats.update(default_translation_cache().stats())
+        return SuiteResult(results=results, driver_stats=stats)
 
 
 def fuzz_campaign(

@@ -60,6 +60,14 @@ def _common_args(parser: argparse.ArgumentParser, *,
         _driver_args(parser)
 
 
+def _engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default=None,
+                        choices=["closure", "reference", "both"],
+                        help="execution engine: pre-translated closure "
+                             "code (default), the reference interpreter, "
+                             "or both with a parity cross-check")
+
+
 def _driver_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("batch driver")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -267,6 +275,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         inject_bug=args.inject_bug,
         replay_only=args.replay,
         max_divergences=args.max_divergences,
+        engine=args.engine or "closure",
     )
     telemetry = (Telemetry(label="fuzz-campaign")
                  if args.telemetry is not None else None)
@@ -357,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = subparsers.add_parser("run", help="compile and execute")
     run_parser.add_argument("file")
     _common_args(run_parser, telemetry=True)
+    _engine_arg(run_parser)
     run_parser.set_defaults(fn=cmd_run)
 
     ir_parser = subparsers.add_parser("ir", help="dump optimized IR")
@@ -408,6 +418,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--telemetry", default=None,
                               metavar="OUT.JSON",
                               help="collect + write per-variant telemetry")
+    _engine_arg(bench_parser)
     _driver_args(bench_parser)
     bench_parser.set_defaults(fn=cmd_bench)
 
@@ -460,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
                              metavar="OUT.JSON",
                              help="write the full telemetry document "
                                   "(spans + fuzz.campaign.* counters)")
+    _engine_arg(fuzz_parser)
     fuzz_parser.set_defaults(fn=cmd_fuzz)
 
     report_parser = subparsers.add_parser(

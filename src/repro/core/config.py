@@ -123,12 +123,20 @@ class CompileOptions:
     #: clone the input program before compiling (disable only when the
     #: caller owns the program outright and wants it consumed in place)
     clone: bool = True
+    #: execution engine for every interpreter run the entry point makes:
+    #: ``"closure"`` (translated threaded code), ``"reference"`` (the
+    #: per-step oracle loop), or ``"both"`` (run both, assert parity).
+    #: The literal default tracks ``repro.interp.engine.DEFAULT_ENGINE``
+    #: (not imported here to keep ``repro.core`` import-light).
+    engine: str = "closure"
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise ValueError(f"unknown variant: {self.variant!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.engine not in ("closure", "reference", "both"):
+            raise ValueError(f"unknown engine: {self.engine!r}")
 
     @classmethod
     def from_cli_args(cls, args) -> "CompileOptions":
@@ -151,6 +159,7 @@ class CompileOptions:
             cache=bool(getattr(args, "cache", defaults.cache)),
             cache_dir=getattr(args, "cache_dir", defaults.cache_dir),
             timeout=getattr(args, "timeout", defaults.timeout),
+            engine=getattr(args, "engine", None) or defaults.engine,
         )
 
     def traits(self) -> MachineTraits:

@@ -83,6 +83,9 @@ class CampaignConfig:
     max_divergences: int | None = None
     #: seeds generated/compiled per driver batch
     batch_seeds: int = 8
+    #: execution engine for every interpreter run; ``"both"`` also
+    #: cross-checks closure-vs-reference parity on every compiled cell
+    engine: str = "closure"
 
     def __post_init__(self) -> None:
         for name in self.variants:
@@ -95,6 +98,8 @@ class CampaignConfig:
             raise ValueError("seeds must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.engine not in ("closure", "reference", "both"):
+            raise ValueError(f"unknown engine: {self.engine!r}")
 
     def cell_configs(self) -> list[tuple[str, str, SignExtConfig]]:
         """``(variant, machine, config)`` for every differential cell."""
@@ -273,13 +278,15 @@ class Campaign:
             return False  # not even a frontend-valid program
         if "main" not in program.functions:
             return False  # the reducer deleted the entry point
-        gold = observe(program, mode="ideal", fuel=self.config.fuel)
+        gold = observe(program, mode="ideal", fuel=self.config.fuel,
+                       engine=self.config.engine)
         try:
             compiled = compile_ir(program, config)
         except Exception:
             return expected_kind in (None, KIND_CRASH)
         divergence = check_compiled(gold, compiled.program, config.traits,
-                                    self.config.fuel)
+                                    self.config.fuel,
+                                    engine=self.config.engine)
         if divergence is None:
             return False
         return expected_kind is None or divergence[0] == expected_kind
@@ -320,7 +327,8 @@ class Campaign:
                         KIND_CRASH,
                         f"frontend raised {type(exc).__name__}: {exc}")
                     continue
-                gold = observe(program, mode="ideal", fuel=config.fuel)
+                gold = observe(program, mode="ideal", fuel=config.fuel,
+                               engine=config.engine)
                 self._count("gold_runs")
                 if gold.status == "fuel":
                     # A seed the budget cannot execute teaches nothing.
@@ -355,7 +363,8 @@ class Campaign:
                 self._count("cells")
                 divergence = check_compiled(gold, outcome.program,
                                             cell_config.traits,
-                                            config.fuel)
+                                            config.fuel,
+                                            engine=config.engine)
                 if divergence is not None:
                     self._record_divergence(result, seed, source, variant,
                                             machine, *divergence)

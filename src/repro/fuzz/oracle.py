@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..interp import Interpreter
+from ..interp import DEFAULT_ENGINE, Interpreter, create_interpreter
 from ..interp.memory import FuelExhausted, MemoryFault, Trap
 from ..ir.function import Program
 from ..ir.opcodes import Opcode
@@ -35,11 +35,12 @@ KIND_CRASH = "crash"        # the compiler raised while compiling the seed
 KIND_TRAP = "trap"          # trap/fault/fuel behaviour changed
 KIND_OUTPUT = "output"      # checksum or return value changed
 KIND_HEAP = "heap"          # final heap state changed
+KIND_ENGINE = "engine"      # closure engine disagrees with the reference
 KIND_LOWERING = "lowering"  # machine lowering internally inconsistent
 KIND_COST = "cost"          # cost model disagrees with dynamic counts
 
 ALL_KINDS = (KIND_CRASH, KIND_TRAP, KIND_OUTPUT, KIND_HEAP,
-             KIND_LOWERING, KIND_COST)
+             KIND_ENGINE, KIND_LOWERING, KIND_COST)
 
 #: Lowered mnemonics that realize an IR sign extension (IA64 / PPC64).
 _SIGN_EXT_MNEMONICS = frozenset(
@@ -79,16 +80,21 @@ def snapshot_heap(interp: Interpreter) -> tuple:
 
 def observe(program: Program, *, mode: str = "machine",
             traits: MachineTraits = IA64,
-            fuel: int = 2_000_000) -> Observation:
+            fuel: int = 2_000_000,
+            engine: str = DEFAULT_ENGINE) -> Observation:
     """Execute ``program`` and capture an :class:`Observation`."""
-    observation, _ = _observe(program, mode, traits, fuel)
+    observation, _ = _observe(program, mode, traits, fuel, engine)
     return observation
 
 
 def _observe(program: Program, mode: str, traits: MachineTraits,
-             fuel: int) -> tuple[Observation, object | None]:
+             fuel: int,
+             engine: str = DEFAULT_ENGINE) -> tuple[Observation, object | None]:
     """Observation plus the raw :class:`ExecResult` when the run is ok."""
-    interp = Interpreter(program, mode=mode, traits=traits, fuel=fuel)
+    if engine == "both":  # one execution per observation; parity is
+        engine = "closure"  # checked separately by engine_cross_check
+    interp = create_interpreter(program, engine=engine, mode=mode,
+                                traits=traits, fuel=fuel)
     try:
         result = interp.run()
     except FuelExhausted as exc:
@@ -203,19 +209,61 @@ def check_lowering(program: Program, traits: MachineTraits) -> str | None:
     return None
 
 
+def engine_cross_check(program: Program, *, mode: str = "machine",
+                       traits: MachineTraits = IA64,
+                       fuel: int = 2_000_000) -> tuple[str, str] | None:
+    """Run both engines over one program and compare everything.
+
+    Observable behaviour, trap messages, final heap state, and — when
+    both runs complete — the entire ``ExecResult`` (step counts, site/
+    opcode/extend counts, profiles) must match bit for bit.  Step counts
+    of *failed* runs are deliberately not compared: the closure engine
+    only tracks fuel at segment granularity on exception paths.
+    """
+    closure_obs, closure_res = _observe(program, mode, traits, fuel,
+                                        engine="closure")
+    ref_obs, ref_res = _observe(program, mode, traits, fuel,
+                                engine="reference")
+    if closure_obs.observable() != ref_obs.observable():
+        return (KIND_ENGINE,
+                f"closure engine finished {closure_obs.observable()!r} "
+                f"but reference finished {ref_obs.observable()!r}")
+    if closure_obs.heap != ref_obs.heap:
+        return (KIND_ENGINE,
+                "final heap differs between engines: "
+                + _heap_diff(ref_obs.heap, closure_obs.heap))
+    if closure_res is not None and ref_res is not None \
+            and closure_res != ref_res:
+        return (KIND_ENGINE,
+                "engines agree on observables but ExecResult differs "
+                f"(closure steps={closure_res.steps} "
+                f"extends={closure_res.extend_counts} vs reference "
+                f"steps={ref_res.steps} extends={ref_res.extend_counts})")
+    return None
+
+
 def check_compiled(gold: Observation, compiled_program: Program,
                    traits: MachineTraits,
-                   fuel: int) -> tuple[str, str] | None:
+                   fuel: int,
+                   engine: str = DEFAULT_ENGINE) -> tuple[str, str] | None:
     """Run one compiled cell through every oracle check.
 
     Returns the first ``(kind, detail)`` divergence, or ``None`` when
     the cell is clean.  Behavioural checks run first — a miscompile is
-    more urgent than a measurement inconsistency.
+    more urgent than a measurement inconsistency.  ``engine="both"``
+    additionally cross-checks the closure engine against the reference
+    interpreter on this cell (:func:`engine_cross_check`).
     """
-    candidate, result = _observe(compiled_program, "machine", traits, fuel)
+    candidate, result = _observe(compiled_program, "machine", traits, fuel,
+                                 engine)
     divergence = compare_observations(gold, candidate)
     if divergence is not None:
         return divergence
+    if engine == "both":
+        divergence = engine_cross_check(compiled_program, mode="machine",
+                                        traits=traits, fuel=fuel)
+        if divergence is not None:
+            return divergence
     problem = check_lowering(compiled_program, traits)
     if problem is not None:
         return (KIND_LOWERING, problem)

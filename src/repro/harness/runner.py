@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from ..core import VARIANTS
 from ..core.config import SignExtConfig
 from ..driver import BatchCompiler, CompileJob, fingerprint_program
-from ..interp import Interpreter
+from ..interp import DEFAULT_ENGINE, execute
 from ..interp.profiler import collect_branch_profiles
 from ..machine.costs import CycleReport, count_cycles
 from ..machine.model import IA64, MachineTraits
@@ -73,8 +73,14 @@ def measure_workload(
     fuel: int = 100_000_000,
     collect_telemetry: bool = False,
     driver: BatchCompiler | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> WorkloadResults:
     """Run one workload under every variant; verify soundness throughout.
+
+    ``engine`` selects the execution engine for the gold, profiling and
+    per-cell runs (``"closure"``/``"reference"``); ``"both"`` runs every
+    execution on both engines and fails on any divergence — the
+    engine-parity cross-check used by CI.
 
     All variant compilations go through a :class:`BatchCompiler`: pass
     ``driver`` to share a compile cache and process pool across
@@ -91,8 +97,8 @@ def measure_workload(
     variants = variants if variants is not None else VARIANTS
     source = workload.program()
 
-    gold = Interpreter(source, mode="ideal", fuel=fuel).run()
-    profiles = collect_branch_profiles(source, fuel=fuel)
+    gold = execute(source, engine=engine, mode="ideal", fuel=fuel)
+    profiles = collect_branch_profiles(source, fuel=fuel, engine=engine)
 
     # One digest serves all variant cells of this workload.
     source_fp = fingerprint_program(source)
@@ -117,8 +123,8 @@ def measure_workload(
     for (name, _), compiled in zip(variants.items(), compiled_cells):
         telemetry = compiled.telemetry
         metrics = telemetry.metrics if telemetry is not None else None
-        run = Interpreter(compiled.program, traits=traits, fuel=fuel,
-                          metrics=metrics).run()
+        run = execute(compiled.program, engine=engine, traits=traits,
+                      fuel=fuel, metrics=metrics)
         if run.observable() != gold.observable():
             raise SoundnessError(
                 f"{workload.name} / {name}: observable behaviour changed "
@@ -148,17 +154,18 @@ def run_suite(
     fuel: int = 100_000_000,
     collect_telemetry: bool = False,
     driver: BatchCompiler | None = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> list[WorkloadResults]:
     """Measure every workload, sharing one driver across the grid."""
     if driver is None:
         with BatchCompiler() as private_driver:
             return run_suite(workloads, variants, traits=traits, fuel=fuel,
                              collect_telemetry=collect_telemetry,
-                             driver=private_driver)
+                             driver=private_driver, engine=engine)
     return [
         measure_workload(w, variants, traits=traits, fuel=fuel,
                          collect_telemetry=collect_telemetry,
-                         driver=driver)
+                         driver=driver, engine=engine)
         for w in workloads
     ]
 

@@ -1,6 +1,20 @@
-"""Execution substrate: heap, machine-faithful interpreter, profiling."""
+"""Execution substrate: heap, interpreters, closure engine, profiling."""
 
-from .interpreter import ExecResult, Interpreter
+from .engine import (
+    DEFAULT_ENGINE,
+    ENGINE_CHOICES,
+    ENGINES,
+    ClosureInterpreter,
+    EngineParityError,
+    ExecutionEngine,
+    create_interpreter,
+    execute,
+)
+from .interpreter import (
+    DEFAULT_MAX_CALL_DEPTH,
+    ExecResult,
+    Interpreter,
+)
 from .memory import (
     ArrayObject,
     FuelExhausted,
@@ -10,15 +24,34 @@ from .memory import (
     Trap,
 )
 from .profiler import collect_branch_profiles
+from .translate import (
+    TranslationCache,
+    Untranslatable,
+    default_translation_cache,
+    translate_function,
+)
 
 __all__ = [
     "ArrayObject",
+    "ClosureInterpreter",
+    "DEFAULT_ENGINE",
+    "DEFAULT_MAX_CALL_DEPTH",
+    "ENGINES",
+    "ENGINE_CHOICES",
+    "EngineParityError",
     "ExecResult",
+    "ExecutionEngine",
     "FuelExhausted",
     "Heap",
     "Interpreter",
     "MemoryFault",
     "SimError",
     "Trap",
+    "TranslationCache",
+    "Untranslatable",
     "collect_branch_profiles",
+    "create_interpreter",
+    "default_translation_cache",
+    "execute",
+    "translate_function",
 ]

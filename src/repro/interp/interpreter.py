@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 import struct
+import sys
 from dataclasses import dataclass, field
 
 from ..ir.function import Function, Program
@@ -35,6 +36,30 @@ from .memory import ArrayObject, FuelExhausted, Heap, MemoryFault, Trap
 
 U64 = 0xFFFF_FFFF_FFFF_FFFF
 _FNV_PRIME = 1099511628211
+
+#: Maximum interpreted call depth before ``StackOverflowError``.  Both
+#: engines enforce the same limit with the same trap message.
+DEFAULT_MAX_CALL_DEPTH = 512
+
+
+def stack_overflow_trap(limit: int) -> Trap:
+    """The trap a too-deep interpreted call raises, in both engines."""
+    return Trap(f"StackOverflowError: call depth exceeded {limit} frames")
+
+
+def _ensure_recursion_headroom(max_call_depth: int) -> None:
+    """Raise CPython's recursion limit so the interpreter's own depth
+    limit trips first.
+
+    Each interpreted frame costs a handful of Python frames (``_call``
+    plus ``_execute`` in the reference engine, one frame-loop call in
+    the closure engine); without headroom a deep interpreted recursion
+    would surface as ``RecursionError`` before reaching
+    ``max_call_depth``.  The limit is only ever raised, never lowered.
+    """
+    needed = max_call_depth * 6 + 256
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
 
 _EXTEND_WIDTH = {Opcode.EXTEND8: 8, Opcode.EXTEND16: 16, Opcode.EXTEND32: 32}
 _ZEXT_WIDTH = {Opcode.ZEXT8: 8, Opcode.ZEXT16: 16, Opcode.ZEXT32: 32}
@@ -91,6 +116,7 @@ class Interpreter:
         collect_profile: bool = False,
         check_dummies: bool = True,
         metrics=None,
+        max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
     ) -> None:
         if mode not in ("machine", "ideal"):
             raise ValueError(f"unknown mode: {mode}")
@@ -100,6 +126,9 @@ class Interpreter:
         self.fuel = fuel
         self.collect_profile = collect_profile
         self.check_dummies = check_dummies
+        self.max_call_depth = max_call_depth
+        self.call_depth = 0
+        _ensure_recursion_headroom(max_call_depth)
         #: optional repro.telemetry.MetricsRegistry; runtime counters
         #: are flushed into it once at the end of run() (zero per-step
         #: overhead, the hot loop never consults it)
@@ -124,18 +153,28 @@ class Interpreter:
             args: tuple[int | float, ...] = ()) -> ExecResult:
         func = self.program.function(func_name)
         ret = self._call(func, args)
-        result = ExecResult(
+        result = self._build_result(ret)
+        if self.metrics is not None:
+            self._flush_metrics(result)
+        return result
+
+    def _build_result(self, ret: int | float | None) -> ExecResult:
+        """An immutable snapshot of this run's counters.
+
+        Every dict is copied (profiles one level deep): a result must
+        not alias live interpreter state, or a later run — or a caller
+        mutating the result — silently corrupts it.
+        """
+        return ExecResult(
             checksum=self.checksum,
             ret_value=ret,
             steps=self.steps,
             extend_counts=dict(self.extend_counts),
-            site_counts=self.site_counts,
-            opcode_counts=self.opcode_counts,
-            profiles=self.profiles,
+            site_counts=dict(self.site_counts),
+            opcode_counts=dict(self.opcode_counts),
+            profiles={name: dict(edges)
+                      for name, edges in self.profiles.items()},
         )
-        if self.metrics is not None:
-            self._flush_metrics(result)
-        return result
 
     def _flush_metrics(self, result: ExecResult) -> None:
         """Dump one run's dynamic counters into the metrics sink."""
@@ -160,13 +199,20 @@ class Interpreter:
             raise Trap(
                 f"arity mismatch calling {func.name}: got {len(args)} args"
             )
+        depth = self.call_depth + 1
+        if depth > self.max_call_depth:
+            raise stack_overflow_trap(self.max_call_depth)
         regs: dict[str, int | float] = {}
         for param, value in zip(func.params, args):
             if param.type is ScalarType.F64:
                 regs[param.name] = float(value)
             else:
                 regs[param.name] = wrap_u64(int(value))
-        return self._execute(func, regs)
+        self.call_depth = depth
+        try:
+            return self._execute(func, regs)
+        finally:
+            self.call_depth = depth - 1
 
     def _execute(self, func: Function, regs: dict[str, int | float]):
         block = func.entry
@@ -215,8 +261,8 @@ class Interpreter:
                 return None
             if opcode is Opcode.CALL:
                 callee = self.program.function(instr.callee)
-                args = tuple(regs[s.name] for s in instr.srcs)
-                result = self._call(callee, args)
+                call_args = tuple(regs[s.name] for s in instr.srcs)
+                result = self._call(callee, call_args)
                 if instr.dest is not None:
                     if result is None:
                         raise Trap(f"void call assigned: {instr}")

@@ -16,7 +16,7 @@ from __future__ import annotations
 from ..analysis.frequency import BranchProfile
 from ..ir.function import Program
 from ..machine.model import IA64, MachineTraits
-from .interpreter import Interpreter
+from .engine import DEFAULT_ENGINE, create_interpreter
 
 
 def collect_branch_profiles(
@@ -28,6 +28,7 @@ def collect_branch_profiles(
     mode: str = "ideal",
     fuel: int = 50_000_000,
     inline: bool = True,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[str, BranchProfile]:
     """Run the program once and return branch profiles per function.
 
@@ -43,11 +44,14 @@ def collect_branch_profiles(
 
         program = clone_program(program)
         inline_small_functions(program)
-    interpreter = Interpreter(
-        program, traits=traits, mode=mode, fuel=fuel, collect_profile=True
+    if engine == "both":  # profiling is single-engine; pick the fast one
+        engine = "closure"
+    interpreter = create_interpreter(
+        program, engine=engine, traits=traits, mode=mode, fuel=fuel,
+        collect_profile=True,
     )
-    interpreter.run(func_name, args)
+    result = interpreter.run(func_name, args)
     return {
         name: BranchProfile(dict(edges))
-        for name, edges in interpreter.profiles.items()
+        for name, edges in result.profiles.items()
     }

@@ -1,0 +1,148 @@
+"""Engine parity: the closure engine must be bit-identical everywhere.
+
+Every registry workload, a compiled-variant grid over both machine
+models, a 50-seed generated-program batch, and a set of crafted trap
+programs all run through both engines.  Successful runs must produce
+equal ``ExecResult`` values (checksum, return value, steps, site/
+opcode/extend counts, branch profiles); failed runs must raise the same
+exception type with the same message.  Step counts of failed runs are
+deliberately not compared — the closure engine only tracks fuel at
+segment granularity on exception paths (see docs/INTERPRETER.md).
+"""
+
+import pytest
+
+from repro.core import VARIANTS, compile_ir
+from repro.frontend import compile_source
+from repro.interp import create_interpreter
+from repro.interp.memory import SimError
+from repro.interp.profiler import collect_branch_profiles
+from repro.machine import IA64, PPC64
+from repro.testing import generate_program
+from repro.workloads import all_workloads
+
+#: Cap long workloads; hitting the cap still checks the fuel path.
+FUEL = 250_000
+
+WORKLOADS = all_workloads()
+
+#: Variant subset for the per-variant grid (CI's ``bench --engine
+#: both`` covers all twelve on the full workload registry).
+GRID_VARIANTS = ("baseline", "insert, order", "new algorithm (all)")
+
+
+def _outcome(program, engine, func="main", args=(), **kwargs):
+    interp = create_interpreter(program, engine=engine, **kwargs)
+    try:
+        return ("ok", interp.run(func, args))
+    except SimError as exc:
+        return (type(exc).__name__, str(exc))
+
+
+def assert_parity(program, func="main", args=(), **kwargs):
+    reference = _outcome(program, "reference", func, args, **kwargs)
+    closure = _outcome(program, "closure", func, args, **kwargs)
+    assert closure == reference
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("mode", ["ideal", "machine"])
+    @pytest.mark.parametrize("workload", WORKLOADS,
+                             ids=[w.name for w in WORKLOADS])
+    def test_source_program(self, workload, mode):
+        assert_parity(workload.program(), mode=mode, fuel=FUEL)
+
+    @pytest.mark.parametrize("workload_name", ["huffman", "bitfield"])
+    def test_profiled_run(self, workload_name):
+        from repro.workloads import get_workload
+
+        program = get_workload(workload_name).program()
+        assert_parity(program, mode="ideal", fuel=FUEL,
+                      collect_profile=True)
+
+    @pytest.mark.parametrize("workload_name", ["huffman", "bitfield"])
+    def test_profiler_entry_point(self, workload_name):
+        from repro.workloads import get_workload
+
+        program = get_workload(workload_name).program()
+        by_engine = [
+            collect_branch_profiles(program, fuel=FUEL, engine=engine)
+            for engine in ("reference", "closure")
+        ]
+        assert by_engine[0] == by_engine[1]
+
+
+class TestCompiledVariantParity:
+    @pytest.mark.parametrize("traits", [IA64, PPC64],
+                             ids=lambda t: t.name)
+    @pytest.mark.parametrize("variant", GRID_VARIANTS)
+    def test_huffman_grid(self, variant, traits):
+        from repro.workloads import get_workload
+
+        program = get_workload("huffman").program()
+        profiles = collect_branch_profiles(program, fuel=FUEL)
+        compiled = compile_ir(program, VARIANTS[variant].with_traits(traits),
+                              profiles)
+        assert_parity(compiled.program, mode="machine", traits=traits,
+                      fuel=FUEL)
+
+
+class TestGeneratedProgramParity:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_seed(self, seed):
+        program = compile_source(generate_program(seed), f"gen{seed}")
+        assert_parity(program, mode="ideal", fuel=200_000)
+        assert_parity(program, mode="machine", fuel=200_000)
+        compiled = compile_ir(program, VARIANTS["new algorithm (all)"])
+        assert_parity(compiled.program, mode="machine", fuel=200_000)
+
+
+class TestTrapParity:
+    """Crafted programs whose trap/fault messages must match exactly."""
+
+    @pytest.mark.parametrize("source", [
+        "int main() { int a = 7; int b = 0; return a / b; }",
+        "int main() { int a = 7; int b = 0; return a % b; }",
+        "int main() { int[] a = new int[4]; return a[10]; }",
+        "int main() { int[] a = new int[4]; return a[0 - 1]; }",
+        "int main() { int[] a = new int[0 - 3]; return 0; }",
+        """
+        int boom(int n) { return boom(n + 1); }
+        int main() { return boom(0); }
+        """,
+    ], ids=["div-zero", "mod-zero", "index-high", "index-negative",
+            "negative-length", "stack-overflow"])
+    @pytest.mark.parametrize("mode", ["ideal", "machine"])
+    def test_source_level_trap(self, source, mode):
+        assert_parity(compile_source(source), mode=mode, fuel=100_000)
+
+    @pytest.mark.parametrize("mode", ["ideal", "machine"])
+    def test_null_array_access(self, mode):
+        from repro.ir import Program, ScalarType, build_function
+
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        null = b.const(0, ScalarType.REF)
+        b.ret(b.aload(null, b.const(0), ScalarType.I32))
+        assert_parity(program, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["ideal", "machine"])
+    def test_dangling_array_reference(self, mode):
+        from repro.ir import Program, ScalarType, build_function
+
+        program = Program()
+        b = build_function(program, "main", [], ScalarType.I32)
+        dangling = b.const(5, ScalarType.REF)  # nothing allocated
+        b.ret(b.aload(dangling, b.const(0), ScalarType.I32))
+        assert_parity(program, mode=mode)
+
+    @pytest.mark.parametrize("fuel", [0, 1, 7, 50])
+    def test_fuel_exhaustion_messages(self, fuel):
+        program = compile_source("""
+            int main() {
+                int i = 0;
+                while (i < 1000) { i = i + 1; }
+                return i;
+            }
+        """)
+        assert_parity(program, mode="ideal", fuel=fuel)
