@@ -5,6 +5,13 @@ against the unoptimized gold execution — is performed once per session
 and shared by all table/figure benchmarks.  Regenerated artifacts are
 written to ``results/`` next to this directory.
 
+Every measured cell is also appended to the perf history (see
+docs/PERF.md): records carry source ``benchmarks`` and the standard
+``(workload, machine, variant, engine)`` key, so ``repro perf report``
+can plot the fig11-14/table1-3 trajectories across PRs from the same
+timeseries the CI gate uses.  The history lands in
+``$REPRO_PERF_DIR`` when set, else ``results/perf-history/``.
+
 Compilation goes through the batch driver; two environment variables
 speed up repeated regenerations:
 
@@ -23,6 +30,7 @@ import pytest
 
 from repro.driver import BatchCompiler, CompileCache
 from repro.harness import run_suite
+from repro.perf import HistoryStore, PerfRecorder
 from repro.workloads import jbytemark_workloads, specjvm98_workloads
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -44,13 +52,24 @@ def bench_driver():
 
 
 @pytest.fixture(scope="session")
-def jbytemark_results(bench_driver):
-    return run_suite(jbytemark_workloads(), driver=bench_driver)
+def perf_recorder():
+    """One recorder (one run_id) for the whole benchmark session."""
+    directory = os.environ.get("REPRO_PERF_DIR")
+    store = HistoryStore(directory if directory
+                         else RESULTS_DIR / "perf-history")
+    return PerfRecorder(store, source="benchmarks")
 
 
 @pytest.fixture(scope="session")
-def specjvm98_results(bench_driver):
-    return run_suite(specjvm98_workloads(), driver=bench_driver)
+def jbytemark_results(bench_driver, perf_recorder):
+    return run_suite(jbytemark_workloads(), driver=bench_driver,
+                     recorder=perf_recorder)
+
+
+@pytest.fixture(scope="session")
+def specjvm98_results(bench_driver, perf_recorder):
+    return run_suite(specjvm98_workloads(), driver=bench_driver,
+                     recorder=perf_recorder)
 
 
 def write_artifact(name: str, text: str) -> None:

@@ -11,6 +11,10 @@ Usage::
     python -m repro bench huffman --jobs 2 --cache
     python -m repro trace program.j32 --out trace.json   # about://tracing
     python -m repro fuzz --seeds 1000 --jobs 4           # differential fuzz
+    python -m repro perf record                          # append to perf history
+    python -m repro perf compare --against perf/baseline.jsonl \
+                                 --fail-on-regression 10%
+    python -m repro perf report --out perf-report.html   # SVG dashboard
 
 Every subcommand builds one :class:`repro.CompileOptions` from its
 flags (`CompileOptions.from_cli_args`) and goes through the
@@ -315,6 +319,104 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_perf_record(args: argparse.Namespace) -> int:
+    """Run the fixed perf grid and append records to the history."""
+    from .perf import HistoryStore, PerfRecorder, record_grid
+
+    options = CompileOptions.from_cli_args(args)
+    store = HistoryStore(args.history)
+    recorder = PerfRecorder(store, source="cli")
+    variants = list(VARIANTS) if args.all_variants else args.variants
+    summary = record_grid(
+        args.workloads,
+        engines=args.engines,
+        variants=variants,
+        options=options,
+        repeat=args.repeat,
+        recorder=recorder,
+    )
+    print(f"recorded  : {summary['recorded']} records "
+          f"({summary['deduplicated']} deduplicated) over "
+          f"{summary['cells']} cells x {summary['repeat']} repeats")
+    print(f"run id    : {recorder.run_id}")
+    print(f"history   : {store.path}")
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    """Compare the latest recorded run against a baseline."""
+    from .perf import (
+        HistoryStore,
+        compare_records,
+        format_compare,
+        load_jsonl,
+        parse_threshold,
+    )
+
+    store = HistoryStore(args.history)
+    runs = store.latest_runs(2)
+    if not runs:
+        print(f"no perf records in {store.path}; run "
+              "`repro perf record` first", file=sys.stderr)
+        return 2
+    current = runs[0]
+    if args.against:
+        baseline = load_jsonl(args.against)
+        if not baseline:
+            print(f"no baseline records in {args.against}",
+                  file=sys.stderr)
+            return 2
+        baseline_name = args.against
+    elif len(runs) > 1:
+        baseline = runs[1]
+        baseline_name = "previous recorded run"
+    else:
+        print("history holds a single run and no --against baseline "
+              "was given; nothing to compare", file=sys.stderr)
+        return 2
+
+    threshold = parse_threshold(args.fail_on_regression
+                                if args.fail_on_regression is not None
+                                else args.threshold)
+    report = compare_records(current, baseline, threshold=threshold)
+    print(f"baseline  : {baseline_name}")
+    print(format_compare(report, verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[verdict written to {args.json}]")
+    if not report.ok:
+        if args.fail_on_regression is not None:
+            print(f"REGRESSED: {len(report.regressed)} cells beyond "
+                  f"the {threshold:.0%} gate", file=sys.stderr)
+            return 1
+        print(f"warning: {len(report.regressed)} cells regressed "
+              "(pass --fail-on-regression to make this fatal)")
+    return 0
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    """Render the history as a self-contained HTML dashboard."""
+    from .perf import (
+        HistoryStore,
+        format_history_summary,
+        load_jsonl,
+        render_html,
+    )
+
+    records = []
+    if args.baseline:
+        records.extend(load_jsonl(args.baseline))
+    records.extend(HistoryStore(args.history).records())
+    print(format_history_summary(records))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render_html(records))
+    print(f"[dashboard written to {args.out} — self-contained, "
+          "open in any browser]")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run a whole suite and write tables, figures, and JSON."""
     from .harness import (
@@ -473,6 +575,79 @@ def main(argv: list[str] | None = None) -> int:
                                   "(spans + fuzz.campaign.* counters)")
     _engine_arg(fuzz_parser)
     fuzz_parser.set_defaults(fn=cmd_fuzz)
+
+    perf_parser = subparsers.add_parser(
+        "perf", help="benchmark history: record runs, gate regressions, "
+                     "render the HTML dashboard (docs/PERF.md)"
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command",
+                                          required=True)
+
+    perf_record = perf_sub.add_parser(
+        "record", help="run the fixed perf grid; append one record per "
+                       "cell repeat to the history"
+    )
+    perf_record.add_argument("--workloads", nargs="+",
+                             default=["fourier", "huffman"],
+                             metavar="NAME",
+                             help="workloads in the grid (default: "
+                                  "fourier huffman)")
+    perf_record.add_argument("--engines", nargs="+", default=["closure"],
+                             choices=["closure", "reference", "both"],
+                             help="execution engines to measure")
+    perf_record.add_argument("--variants", nargs="+", default=None,
+                             choices=sorted(VARIANTS), metavar="NAME",
+                             help="variants in the grid (default: "
+                                  "baseline + the full new algorithm)")
+    perf_record.add_argument("--all-variants", action="store_true",
+                             help="measure all 12 table variants")
+    perf_record.add_argument("--repeat", type=int, default=3,
+                             help="repeats per cell (min-of-repeats "
+                                  "is applied at compare time)")
+    perf_record.add_argument("--history", default=None, metavar="DIR",
+                             help="history location (default "
+                                  "~/.cache/repro/perf-history)")
+    perf_record.add_argument("--machine", default="ia64",
+                             choices=sorted(MACHINES))
+    perf_record.add_argument("--fuel", type=int, default=100_000_000)
+    _driver_args(perf_record)
+    perf_record.set_defaults(fn=cmd_perf_record)
+
+    perf_compare = perf_sub.add_parser(
+        "compare", help="compare the latest recorded run against a "
+                        "baseline; classify every cell"
+    )
+    perf_compare.add_argument("--history", default=None, metavar="DIR")
+    perf_compare.add_argument("--against", default=None, metavar="JSONL",
+                              help="baseline records (e.g. the "
+                                   "repo-committed perf/baseline.jsonl); "
+                                   "default: the previous recorded run")
+    perf_compare.add_argument("--threshold", default="10%",
+                              metavar="PCT",
+                              help="relative wall-time noise floor "
+                                   "(default 10%%)")
+    perf_compare.add_argument("--fail-on-regression", default=None,
+                              nargs="?", const="10%", metavar="PCT",
+                              help="exit 1 on any regression beyond PCT "
+                                   "(default 10%% when given bare)")
+    perf_compare.add_argument("--json", default=None, metavar="OUT.JSON",
+                              help="write the machine-readable verdict")
+    perf_compare.add_argument("--verbose", action="store_true",
+                              help="print every metric, not just "
+                                   "regressions")
+    perf_compare.set_defaults(fn=cmd_perf_compare)
+
+    perf_report = perf_sub.add_parser(
+        "report", help="render the history as a self-contained HTML "
+                       "dashboard + terminal summary"
+    )
+    perf_report.add_argument("--history", default=None, metavar="DIR")
+    perf_report.add_argument("--baseline", default=None, metavar="JSONL",
+                             help="also merge a baseline file into the "
+                                  "plots")
+    perf_report.add_argument("--out", default="perf-report.html",
+                             help="dashboard output path")
+    perf_report.set_defaults(fn=cmd_perf_report)
 
     report_parser = subparsers.add_parser(
         "report", help="run a whole suite; write tables, figures, JSON"

@@ -15,18 +15,24 @@ For every (workload, variant) cell the runner:
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core import VARIANTS
 from ..core.config import SignExtConfig
 from ..driver import BatchCompiler, CompileJob, fingerprint_program
+from ..driver.fingerprint import fingerprint_config
 from ..interp import DEFAULT_ENGINE, execute
 from ..interp.profiler import collect_branch_profiles
 from ..machine.costs import CycleReport, count_cycles
 from ..machine.model import IA64, MachineTraits
-from ..opt.pass_manager import Timing
+from ..opt.pass_manager import BUCKET_KEYS, Timing
 from ..workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..perf import PerfRecorder
 
 
 class SoundnessError(AssertionError):
@@ -74,6 +80,8 @@ def measure_workload(
     collect_telemetry: bool = False,
     driver: BatchCompiler | None = None,
     engine: str = DEFAULT_ENGINE,
+    recorder: "PerfRecorder | None" = None,
+    repeat_index: int = 0,
 ) -> WorkloadResults:
     """Run one workload under every variant; verify soundness throughout.
 
@@ -93,6 +101,13 @@ def measure_workload(
     metrics), so two benchmark runs become diffable down to individual
     elimination decisions.  Off by default: the paper's Table 3 timing
     numbers must not pay for observability they did not ask for.
+
+    A ``recorder`` (:class:`repro.perf.PerfRecorder`) turns every cell
+    into one perf-history record: compile-phase wall times from the
+    timing buckets, the measured ``execute`` phase, the deterministic
+    extension/step counts, and — when telemetry is collected — the
+    cell's counter families.  ``repeat_index`` tags the record when a
+    caller runs the same grid several times for min-of-repeats.
     """
     variants = variants if variants is not None else VARIANTS
     source = workload.program()
@@ -120,17 +135,19 @@ def measure_workload(
         compiled_cells = driver.compile_batch(jobs)
 
     results = WorkloadResults(workload=workload, gold_checksum=gold.checksum)
-    for (name, _), compiled in zip(variants.items(), compiled_cells):
+    for (name, config), compiled in zip(variants.items(), compiled_cells):
         telemetry = compiled.telemetry
         metrics = telemetry.metrics if telemetry is not None else None
+        execute_start = time.perf_counter()
         run = execute(compiled.program, engine=engine, traits=traits,
                       fuel=fuel, metrics=metrics)
+        execute_seconds = time.perf_counter() - execute_start
         if run.observable() != gold.observable():
             raise SoundnessError(
                 f"{workload.name} / {name}: observable behaviour changed "
                 f"(gold {gold.observable()} vs {run.observable()})"
             )
-        results.cells[name] = CellResult(
+        cell = CellResult(
             workload=workload.name,
             variant=name,
             dyn_extend32=run.extend_counts.get(32, 0),
@@ -143,7 +160,48 @@ def measure_workload(
             telemetry=(telemetry.to_dict() if telemetry is not None
                        else None),
         )
+        results.cells[name] = cell
+        if recorder is not None:
+            _record_cell(recorder, cell, config=config.with_traits(traits),
+                         engine=engine, fuel=fuel,
+                         execute_seconds=execute_seconds,
+                         metrics=metrics, repeat_index=repeat_index)
     return results
+
+
+def _record_cell(recorder: "PerfRecorder", cell: CellResult, *,
+                 config: SignExtConfig, engine: str, fuel: int,
+                 execute_seconds: float, metrics,
+                 repeat_index: int) -> None:
+    """Emit one perf-history record for a measured cell."""
+    phases = {
+        key: cell.timing.seconds.get(bucket, 0.0)
+        for bucket, key in BUCKET_KEYS.items()
+    }
+    phases["execute"] = execute_seconds
+    counters: dict[str, int] = {}
+    if metrics is not None:
+        counters = dict(metrics.as_dict()["counters"])
+    recorder.record_cell(
+        workload=cell.workload,
+        variant=cell.variant,
+        engine=engine,
+        machine=config.traits.name,
+        fuel=fuel,
+        repeat=repeat_index,
+        phases=phases,
+        measures={
+            "dyn_extend32": cell.dyn_extend32,
+            "dyn_extend16": cell.dyn_extend16,
+            "dyn_extend8": cell.dyn_extend8,
+            "static_extends": cell.static_extends,
+            "steps": cell.steps,
+            "cycles": cell.cycles.total,
+            "extend_cycles": cell.cycles.extend_cycles,
+        },
+        counters=counters,
+        config_fingerprint=fingerprint_config(config),
+    )
 
 
 def run_suite(
@@ -155,17 +213,21 @@ def run_suite(
     collect_telemetry: bool = False,
     driver: BatchCompiler | None = None,
     engine: str = DEFAULT_ENGINE,
+    recorder: "PerfRecorder | None" = None,
+    repeat_index: int = 0,
 ) -> list[WorkloadResults]:
     """Measure every workload, sharing one driver across the grid."""
     if driver is None:
         with BatchCompiler() as private_driver:
             return run_suite(workloads, variants, traits=traits, fuel=fuel,
                              collect_telemetry=collect_telemetry,
-                             driver=private_driver, engine=engine)
+                             driver=private_driver, engine=engine,
+                             recorder=recorder, repeat_index=repeat_index)
     return [
         measure_workload(w, variants, traits=traits, fuel=fuel,
                          collect_telemetry=collect_telemetry,
-                         driver=driver, engine=engine)
+                         driver=driver, engine=engine, recorder=recorder,
+                         repeat_index=repeat_index)
         for w in workloads
     ]
 

@@ -43,24 +43,61 @@ _MACHINES = {"ia64": IA64, "ppc64": PPC64}
 
 
 def _time_run(program, engine, repeat, *, cache, **kwargs):
-    """(best seconds, ExecResult) for ``repeat`` fresh runs."""
-    best = float("inf")
+    """(per-repeat seconds, ExecResult) for ``repeat`` fresh runs."""
+    times = []
     result = None
     for _ in range(repeat):
         interp = create_interpreter(program, engine=engine,
                                     translation_cache=cache, **kwargs)
         start = time.perf_counter()
         result = interp.run()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return best, result
+        times.append(time.perf_counter() - start)
+    return times, result
+
+
+def _record_cell(recorder, *, workload, variant, engine, machine, fuel,
+                 times, result, config=None, extra_phases=None):
+    """Emit one perf record per repeat through the ``perf.recorder``
+    hook (min-of-repeats is applied later, by the compare engine)."""
+    if recorder is None:
+        return
+    from ..driver.fingerprint import fingerprint_config
+
+    fingerprint = fingerprint_config(config) if config is not None else ""
+    for index, seconds in enumerate(times):
+        phases = {"execute": seconds}
+        if extra_phases and index == 0:
+            phases.update(extra_phases)
+        recorder.record_cell(
+            workload=workload,
+            variant=variant,
+            engine=engine,
+            machine=machine,
+            fuel=fuel,
+            repeat=index,
+            phases=phases,
+            measures={
+                "dyn_extend32": result.extend_counts.get(32, 0),
+                "dyn_extend16": result.extend_counts.get(16, 0),
+                "dyn_extend8": result.extend_counts.get(8, 0),
+                "steps": result.steps,
+            },
+            config_fingerprint=fingerprint,
+        )
 
 
 def run_benchmark(workload_name: str = "huffman", *,
                   machine: str = "ia64",
                   fuel: int = 100_000_000,
-                  repeat: int = 3) -> dict:
-    """Benchmark both engines over one workload's variant grid."""
+                  repeat: int = 3,
+                  recorder=None) -> dict:
+    """Benchmark both engines over one workload's variant grid.
+
+    ``recorder`` (a :class:`repro.perf.PerfRecorder`) lands every
+    timed cell in the perf history — one record per repeat, plus the
+    cold translation time as a ``translate`` phase on the closure
+    engine's gold cell.
+    """
     traits = _MACHINES[machine]
     workload = get_workload(workload_name)
     program = workload.program()
@@ -85,20 +122,29 @@ def run_benchmark(workload_name: str = "huffman", *,
     engines: dict[str, dict] = {}
     results: dict[str, dict] = {}
     for engine in ("reference", "closure"):
-        gold_seconds, gold = _time_run(program, engine, repeat, cache=cache,
-                                       mode="ideal", fuel=fuel)
+        gold_times, gold = _time_run(program, engine, repeat, cache=cache,
+                                     mode="ideal", fuel=fuel)
+        _record_cell(recorder, workload=workload_name, variant="gold",
+                     engine=engine, machine=machine, fuel=fuel,
+                     times=gold_times, result=gold,
+                     extra_phases=({"translate": translate_seconds}
+                                   if engine == "closure" else None))
         cells = {}
         cell_results = {}
         for name, cell in compiled.items():
-            seconds, result = _time_run(cell.program, engine, repeat,
-                                        cache=cache, traits=traits,
-                                        fuel=fuel)
-            cells[name] = seconds
+            times, result = _time_run(cell.program, engine, repeat,
+                                      cache=cache, traits=traits,
+                                      fuel=fuel)
+            _record_cell(recorder, workload=workload_name, variant=name,
+                         engine=engine, machine=machine, fuel=fuel,
+                         times=times, result=result,
+                         config=VARIANTS[name].with_traits(traits))
+            cells[name] = min(times)
             cell_results[name] = result
         engines[engine] = {
-            "gold_seconds": gold_seconds,
+            "gold_seconds": min(gold_times),
             "cell_seconds": cells,
-            "total_seconds": gold_seconds + sum(cells.values()),
+            "total_seconds": min(gold_times) + sum(cells.values()),
         }
         results[engine] = {"gold": gold, **cell_results}
 
@@ -152,10 +198,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--out", default=None,
                         help="write the JSON document here (default stdout)")
+    parser.add_argument("--perf-dir", default=None, metavar="DIR",
+                        help="also append every timed cell to the perf "
+                             "history at DIR (default: $REPRO_PERF_DIR "
+                             "if set)")
     args = parser.parse_args(argv)
 
+    from ..perf import PerfRecorder, recorder_from_env
+
+    if args.perf_dir:
+        recorder = PerfRecorder(args.perf_dir, source="engine-bench")
+    else:
+        recorder = recorder_from_env("engine-bench")
     document = run_benchmark(args.workload, machine=args.machine,
-                             fuel=args.fuel, repeat=args.repeat)
+                             fuel=args.fuel, repeat=args.repeat,
+                             recorder=recorder)
+    if recorder is not None:
+        print(f"[{recorder.recorded} perf records appended to "
+              f"{recorder.store.path}]")
     text = json.dumps(document, indent=2, sort_keys=False) + "\n"
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

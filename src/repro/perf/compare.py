@@ -1,0 +1,327 @@
+"""Statistical comparison of perf record batches.
+
+The compare engine pairs a *current* batch of records against a
+*baseline* batch by cell key ``(workload, machine, variant, engine)``
+and classifies every metric of every paired cell as ``improved`` /
+``regressed`` / ``neutral``.  Two metric classes with different rules:
+
+**Time metrics** (``execute``, ``compile``, ``translate`` wall seconds)
+are noisy, so the verdict is statistical:
+
+* the point estimate on each side is the **minimum over repeats** —
+  for a deterministic workload the fastest observed run is the one
+  least disturbed by the host (see the measurement-bias discussion in
+  PAPERS.md);
+* the regression bar is a **noise floor**: the larger of a relative
+  threshold (default 10% of the baseline best) and ``k`` times the
+  scaled median absolute deviation of either side's repeats, plus an
+  absolute floor below which wall-clock deltas are meaningless;
+* wall times are only comparable on the same host — when the two
+  sides carry different host fingerprints every time metric is
+  ``skipped`` (counts still compare), which is what lets a
+  repo-committed baseline gate CI runs on other machines.
+
+**Deterministic measures** (dynamic extension counts, static
+extensions, interpreter steps) are pure functions of the code: any
+change is real, so they compare exactly — an increase is a regression
+no matter how small.  Modelled cycles are floats but equally
+deterministic; they get an epsilon band only to absorb float printing.
+
+Cells present on one side only are reported as ``new`` / ``missing``
+rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Iterable
+
+from .record import DETERMINISTIC_MEASURES, CellKey, RunRecord
+
+#: phases compared as wall time (``compile`` is the sum of all
+#: compile-side buckets, computed below)
+TIME_METRICS = ("execute", "compile", "translate")
+
+#: deterministic float measures: epsilon band instead of noise model
+FLOAT_MEASURES = ("cycles", "extend_cycles")
+
+IMPROVED = "improved"
+REGRESSED = "regressed"
+NEUTRAL = "neutral"
+SKIPPED = "skipped"
+NEW = "new"
+MISSING = "missing"
+
+#: below this many seconds a wall-time delta is clock jitter, not data
+ABS_TIME_FLOOR = 5e-4
+
+
+def parse_threshold(text: str | float) -> float:
+    """Accept ``0.1``, ``"0.1"``, or ``"10%"``."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    return float(text)
+
+
+def scaled_mad(values: list[float]) -> float:
+    """Median absolute deviation scaled to estimate sigma (x1.4826)."""
+    if len(values) < 2:
+        return 0.0
+    center = median(values)
+    return 1.4826 * median(abs(v - center) for v in values)
+
+
+@dataclass
+class MetricVerdict:
+    """One metric of one paired cell."""
+
+    metric: str
+    classification: str
+    baseline: float | None = None
+    current: float | None = None
+    delta: float | None = None
+    noise_floor: float | None = None
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "classification": self.classification,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "noise_floor": self.noise_floor,
+            "note": self.note,
+        }
+
+
+@dataclass
+class CellVerdict:
+    """All metric verdicts for one cell key."""
+
+    key: CellKey
+    classification: str
+    metrics: list[MetricVerdict] = field(default_factory=list)
+    note: str = ""
+
+    def regressions(self) -> list[MetricVerdict]:
+        return [m for m in self.metrics
+                if m.classification == REGRESSED]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.key.workload,
+            "machine": self.key.machine,
+            "variant": self.key.variant,
+            "engine": self.key.engine,
+            "classification": self.classification,
+            "note": self.note,
+            "metrics": [m.to_dict() for m in self.metrics],
+        }
+
+
+@dataclass
+class CompareReport:
+    """Machine-readable comparison verdict for a whole batch."""
+
+    cells: list[CellVerdict]
+    threshold: float
+    mad_k: float
+
+    def by_classification(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.classification] = (
+                counts.get(cell.classification, 0) + 1
+            )
+        return counts
+
+    @property
+    def regressed(self) -> list[CellVerdict]:
+        return [c for c in self.cells if c.classification == REGRESSED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "threshold": self.threshold,
+            "mad_k": self.mad_k,
+            "summary": self.by_classification(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _group(records: Iterable[RunRecord]) -> dict[CellKey,
+                                                 list[RunRecord]]:
+    groups: dict[CellKey, list[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.key(), []).append(record)
+    return groups
+
+
+def _time_samples(records: list[RunRecord], metric: str) -> list[float]:
+    """All observed wall times of one phase across repeats."""
+    if metric == "compile":
+        samples = []
+        for record in records:
+            buckets = [seconds for phase, seconds in record.phases.items()
+                       if phase not in ("execute", "translate")]
+            if buckets:
+                samples.append(sum(buckets))
+        return samples
+    return [record.phases[metric] for record in records
+            if metric in record.phases]
+
+
+def _measure_samples(records: list[RunRecord],
+                     metric: str) -> list[float]:
+    return [record.measures[metric] for record in records
+            if metric in record.measures]
+
+
+def _hosts(records: list[RunRecord]) -> set[str]:
+    return {record.host_id for record in records if record.host_id}
+
+
+def _compare_time(metric: str, base: list[float], cur: list[float],
+                  threshold: float, mad_k: float) -> MetricVerdict:
+    base_best = min(base)
+    cur_best = min(cur)
+    noise = max(
+        threshold * base_best,
+        mad_k * scaled_mad(base),
+        mad_k * scaled_mad(cur),
+        ABS_TIME_FLOOR,
+    )
+    delta = cur_best - base_best
+    if delta > noise:
+        classification = REGRESSED
+    elif delta < -noise:
+        classification = IMPROVED
+    else:
+        classification = NEUTRAL
+    return MetricVerdict(metric=metric, classification=classification,
+                         baseline=base_best, current=cur_best,
+                         delta=delta, noise_floor=noise)
+
+
+def _compare_exact(metric: str, base: float, cur: float,
+                   epsilon: float = 0.0) -> MetricVerdict:
+    delta = cur - base
+    if delta > epsilon:
+        classification = REGRESSED
+    elif delta < -epsilon:
+        classification = IMPROVED
+    else:
+        classification = NEUTRAL
+    return MetricVerdict(metric=metric, classification=classification,
+                         baseline=base, current=cur, delta=delta,
+                         noise_floor=epsilon)
+
+
+def compare_records(
+    current: Iterable[RunRecord],
+    baseline: Iterable[RunRecord],
+    *,
+    threshold: float = 0.10,
+    mad_k: float = 3.0,
+) -> CompareReport:
+    """Pair ``current`` against ``baseline`` by cell key and classify.
+
+    ``threshold`` is the relative wall-time noise floor (0.10 = 10%);
+    ``mad_k`` scales the robust per-cell noise estimate.  Deterministic
+    measures ignore both — any change is real.
+    """
+    current_groups = _group(current)
+    baseline_groups = _group(baseline)
+    cells: list[CellVerdict] = []
+
+    for key in sorted(set(current_groups) | set(baseline_groups)):
+        cur_records = current_groups.get(key)
+        base_records = baseline_groups.get(key)
+        if cur_records is None:
+            cells.append(CellVerdict(key=key, classification=MISSING,
+                                     note="cell absent from current run"))
+            continue
+        if base_records is None:
+            cells.append(CellVerdict(key=key, classification=NEW,
+                                     note="cell absent from baseline"))
+            continue
+
+        metrics: list[MetricVerdict] = []
+        hosts_match = bool(_hosts(cur_records) & _hosts(base_records))
+        for metric in TIME_METRICS:
+            base_samples = _time_samples(base_records, metric)
+            cur_samples = _time_samples(cur_records, metric)
+            if not base_samples or not cur_samples:
+                continue
+            if not hosts_match:
+                metrics.append(MetricVerdict(
+                    metric=metric, classification=SKIPPED,
+                    note="hosts differ; wall time not comparable",
+                ))
+                continue
+            metrics.append(_compare_time(metric, base_samples,
+                                         cur_samples, threshold, mad_k))
+        for metric in DETERMINISTIC_MEASURES:
+            base_samples = _measure_samples(base_records, metric)
+            cur_samples = _measure_samples(cur_records, metric)
+            if not base_samples or not cur_samples:
+                continue
+            metrics.append(_compare_exact(metric, min(base_samples),
+                                          min(cur_samples)))
+        for metric in FLOAT_MEASURES:
+            base_samples = _measure_samples(base_records, metric)
+            cur_samples = _measure_samples(cur_records, metric)
+            if not base_samples or not cur_samples:
+                continue
+            base_best = min(base_samples)
+            epsilon = 1e-9 * max(1.0, abs(base_best))
+            metrics.append(_compare_exact(metric, base_best,
+                                          min(cur_samples), epsilon))
+
+        if any(m.classification == REGRESSED for m in metrics):
+            classification = REGRESSED
+        elif any(m.classification == IMPROVED for m in metrics):
+            classification = IMPROVED
+        else:
+            classification = NEUTRAL
+        note = "" if hosts_match else ("wall-time metrics skipped: "
+                                       "different hosts")
+        cells.append(CellVerdict(key=key, classification=classification,
+                                 metrics=metrics, note=note))
+
+    return CompareReport(cells=cells, threshold=threshold, mad_k=mad_k)
+
+
+def format_compare(report: CompareReport, *, verbose: bool = False) -> str:
+    """Terminal rendering: one line per cell, details for regressions."""
+    lines = []
+    counts = report.by_classification()
+    summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+    lines.append(f"perf compare: {len(report.cells)} cells ({summary}); "
+                 f"threshold {report.threshold:.0%}")
+    for cell in report.cells:
+        marker = {
+            REGRESSED: "!!", IMPROVED: "++", NEUTRAL: "  ",
+            NEW: " +", MISSING: " -",
+        }.get(cell.classification, "  ")
+        lines.append(f" {marker} {cell.classification:<9s} "
+                     f"{cell.key.label()}")
+        interesting = (cell.metrics if verbose else cell.regressions())
+        for metric in interesting:
+            if metric.baseline is None:
+                continue
+            lines.append(
+                f"      {metric.metric:<16s} {metric.baseline:>12.6g} "
+                f"-> {metric.current:>12.6g}  (delta {metric.delta:+.6g},"
+                f" floor {metric.noise_floor:.6g})"
+            )
+    return "\n".join(lines)

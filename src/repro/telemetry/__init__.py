@@ -102,11 +102,15 @@ def validate_telemetry_document(doc: dict[str, Any]) -> list[str]:
                 problems.append(f"traceEvents[{i}] has bad phase "
                                 f"{event.get('ph')!r}")
                 break
-            if event.get("ph") == "X" and not (
-                    isinstance(event.get("ts"), int)
-                    and isinstance(event.get("dur"), int)):
-                problems.append(f"traceEvents[{i}] lacks integer ts/dur")
-                break
+            if event.get("ph") == "X":
+                if not (isinstance(event.get("ts"), int)
+                        and isinstance(event.get("dur"), int)):
+                    problems.append(f"traceEvents[{i}] lacks integer ts/dur")
+                    break
+                if event["ts"] < 0 or event["dur"] < 0:
+                    problems.append(f"traceEvents[{i}] has negative "
+                                    f"ts/dur ({event['ts']}/{event['dur']})")
+                    break
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict) or not {
             "counters", "gauges", "histograms"} <= set(metrics):

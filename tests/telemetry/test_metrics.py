@@ -60,6 +60,63 @@ class TestGaugesAndHistograms:
         assert h.buckets == {4: 2, 8: 1}
 
 
+class TestQuantiles:
+    def _histogram(self, values):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency")
+        for value in values:
+            h.observe(value)
+        return h
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = self._histogram([])
+        assert h.quantile(0.5) is None
+        data = h.as_dict()
+        assert data["p50"] is None and data["p95"] is None
+
+    def test_single_observation_is_every_quantile(self):
+        h = self._histogram([42])
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 42
+
+    def test_quantiles_bounded_by_min_max(self):
+        h = self._histogram([3, 5, 9, 17, 900])
+        for q in (0.01, 0.5, 0.99):
+            assert h.min <= h.quantile(q) <= h.max
+
+    def test_quantiles_monotone_in_q(self):
+        h = self._histogram(range(1, 200, 7))
+        estimates = [h.quantile(q / 100) for q in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+
+    def test_p50_lands_in_the_median_bucket(self):
+        # 10 observations in bucket 4, 1 in bucket 1024: the median is
+        # in the low bucket no matter how extreme the outlier.
+        h = self._histogram([3] * 10 + [1000])
+        assert h.quantile(0.5) <= 4
+
+    def test_quantile_rejects_out_of_range(self):
+        h = self._histogram([1])
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_as_dict_exports_p50_p95_p99(self):
+        data = self._histogram(range(1, 101)).as_dict()
+        assert data["p50"] is not None
+        assert data["p50"] <= data["p95"] <= data["p99"] <= data["max"]
+
+    def test_merge_preserves_quantile_estimates(self):
+        """Merging two histograms gives the same quantiles as one
+        histogram fed both streams — merge is bucket-exact."""
+        left = self._histogram([1, 3, 9, 100])
+        right = self._histogram([2, 5, 700, 40])
+        combined = self._histogram([1, 3, 9, 100, 2, 5, 700, 40])
+        left.merge(right)
+        for q in (0.25, 0.5, 0.95, 0.99):
+            assert left.quantile(q) == combined.quantile(q)
+        assert left.as_dict() == combined.as_dict()
+
+
 class TestMerge:
     def test_merge_sums_counters(self):
         a, b = MetricsRegistry(), MetricsRegistry()

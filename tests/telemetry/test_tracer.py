@@ -87,6 +87,87 @@ class TestClock:
         assert span.duration_us >= 5000
 
 
+class TestMergeRebase:
+    """Merged worker forests are rebased onto the parent clock.
+
+    Worker processes measure against their own monotonic epoch;
+    without rebasing, a worker that started later (huge epoch) would
+    land its spans far past the parent timeline, and one that started
+    earlier would land before the parent's epoch.
+    """
+
+    def _worker(self, name, start_ns):
+        """A fake worker tracer whose epoch begins at ``start_ns``."""
+        clock = _FakeClock()
+        clock.now_ns = start_ns
+        tracer = Tracer(clock_ns=clock, process_name=name)
+        with tracer.span("job"):
+            clock.now_ns += 2_000_000  # 2ms of work
+            with tracer.span("inner"):
+                clock.now_ns += 1_000_000
+        return tracer
+
+    def test_two_workers_land_inside_parent_timeline(self):
+        parent_clock = _FakeClock()
+        parent = Tracer(clock_ns=parent_clock)
+        parent_clock.now_ns += 50_000_000  # parent is 50ms in
+        # Wildly different worker epochs: one "before" the parent's,
+        # one far after — both must rebase into the parent timeline.
+        early = self._worker("w1", start_ns=10)
+        late = self._worker("w2", start_ns=999_000_000_000)
+        parent.merge(early)
+        parent.merge(late)
+
+        horizon = parent._now_us()
+        for root in parent.roots:
+            assert root.name.startswith("merged:")
+            for span in [root, *root.children,
+                         *root.children[0].children]:
+                assert span.start_us >= 0
+                assert span.start_us + span.duration_us <= horizon
+
+    def test_relative_timing_preserved(self):
+        parent = Tracer(clock_ns=_FakeClock())
+        worker = self._worker("w", start_ns=777_000_000)
+        job = worker.roots[0]
+        inner = job.children[0]
+        gap_before = inner.start_us - job.start_us
+        durations = (job.duration_us, inner.duration_us)
+        parent.merge(worker)
+
+        merged_job = parent.roots[-1].children[0]
+        merged_inner = merged_job.children[0]
+        assert merged_inner.start_us - merged_job.start_us == gap_before
+        assert (merged_job.duration_us,
+                merged_inner.duration_us) == durations
+
+    def test_wrapper_covers_worker_extent(self):
+        parent = Tracer(clock_ns=_FakeClock())
+        worker = self._worker("w", start_ns=123_456_789)
+        extent = (worker.roots[-1].start_us
+                  + worker.roots[-1].duration_us
+                  - worker.roots[0].start_us)
+        parent.merge(worker)
+        wrapper = parent.roots[-1]
+        assert wrapper.name == "merged:w"
+        assert wrapper.duration_us == extent
+        assert wrapper.start_us == wrapper.children[0].start_us
+
+    def test_merged_chrome_events_validate(self):
+        """After a merge no exported event may carry negative ts."""
+        parent = Tracer(clock_ns=_FakeClock())
+        parent.merge(self._worker("w1", start_ns=5))
+        parent.merge(self._worker("w2", start_ns=10**15))
+        for event in parent.to_chrome_events():
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_empty_worker_is_noop(self):
+        parent = Tracer(clock_ns=_FakeClock())
+        parent.merge(Tracer(clock_ns=_FakeClock(), process_name="idle"))
+        assert parent.roots == []
+
+
 class TestChromeExport:
     def _trace(self):
         tracer = Tracer(process_name="unit-test")

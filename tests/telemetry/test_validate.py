@@ -1,0 +1,106 @@
+"""validate_telemetry_document: real documents, merges, corruption.
+
+The validator is the CI trace-smoke gate; these tests pin down that it
+(a) accepts every document the pipeline actually produces — including
+JSON round-trips and multi-process merges — and (b) rejects the
+corruption modes a broken exporter would introduce.
+"""
+
+import copy
+import json
+
+from repro.core import VARIANTS, compile_ir
+from repro.telemetry import Telemetry, validate_telemetry_document
+from tests.conftest import make_fig7_program
+
+FULL_CFG = VARIANTS["new algorithm (all)"]
+
+
+def _compile_document(label="unit"):
+    telemetry = Telemetry(label)
+    compile_ir(make_fig7_program(8), FULL_CFG, telemetry=telemetry)
+    return telemetry
+
+
+class TestAcceptsRealDocuments:
+    def test_pipeline_document_validates(self):
+        doc = _compile_document().to_dict()
+        assert validate_telemetry_document(doc) == []
+
+    def test_json_round_trip_validates(self):
+        doc = json.loads(json.dumps(_compile_document().to_dict()))
+        assert validate_telemetry_document(doc) == []
+
+    def test_merged_multi_process_document_validates(self):
+        """A parent that absorbed two 'worker' compilations — the batch
+        driver's shape — still validates, with non-negative rebased
+        timestamps throughout."""
+        parent = Telemetry("parent")
+        with parent.span("batch"):
+            pass
+        parent.merge(_compile_document("worker-1"))
+        parent.merge(_compile_document("worker-2"))
+        doc = parent.to_dict()
+        assert validate_telemetry_document(doc) == []
+        roots = [s["name"] for s in doc["spans"]]
+        assert "merged:worker-1" in roots and "merged:worker-2" in roots
+
+    def test_empty_telemetry_validates(self):
+        assert validate_telemetry_document(Telemetry().to_dict()) == []
+
+
+class TestRejectsCorruption:
+    def _doc(self):
+        return copy.deepcopy(_compile_document().to_dict())
+
+    def test_missing_top_level_key(self):
+        doc = self._doc()
+        del doc["decisions"]
+        problems = validate_telemetry_document(doc)
+        assert any("decisions" in p for p in problems)
+
+    def test_missing_counter_family_block(self):
+        doc = self._doc()
+        del doc["metrics"]["counters"]
+        problems = validate_telemetry_document(doc)
+        assert any("metrics" in p for p in problems)
+
+    def test_negative_duration_flagged(self):
+        doc = self._doc()
+        for event in doc["trace"]["traceEvents"]:
+            if event["ph"] == "X":
+                event["dur"] = -5
+                break
+        problems = validate_telemetry_document(doc)
+        assert any("negative" in p for p in problems)
+
+    def test_negative_timestamp_flagged(self):
+        doc = self._doc()
+        for event in doc["trace"]["traceEvents"]:
+            if event["ph"] == "X":
+                event["ts"] = -1
+                break
+        problems = validate_telemetry_document(doc)
+        assert any("negative" in p for p in problems)
+
+    def test_non_integer_duration_flagged(self):
+        doc = self._doc()
+        for event in doc["trace"]["traceEvents"]:
+            if event["ph"] == "X":
+                event["dur"] = 1.5
+                break
+        problems = validate_telemetry_document(doc)
+        assert any("integer" in p for p in problems)
+
+    def test_bad_phase_flagged(self):
+        doc = self._doc()
+        doc["trace"]["traceEvents"].append({"ph": "Z", "name": "bogus"})
+        problems = validate_telemetry_document(doc)
+        assert any("phase" in p for p in problems)
+
+    def test_decision_missing_keys_flagged(self):
+        doc = self._doc()
+        if doc["decisions"]:
+            del doc["decisions"][0]["verdict"]
+            problems = validate_telemetry_document(doc)
+            assert any("decisions[0]" in p for p in problems)

@@ -185,3 +185,73 @@ class TestTrace:
         doc = json.loads(full.read_text())
         assert validate_telemetry_document(doc) == []
         assert doc["decisions"], "decision log should not be empty"
+
+
+class TestPerf:
+    def _record(self, history, capsys):
+        code = main(["perf", "record", "--workloads", "fourier",
+                     "--engines", "closure", "--repeat", "1",
+                     "--fuel", "2000000", "--history", str(history)])
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_record_appends_history(self, tmp_path, capsys):
+        history = tmp_path / "ph"
+        out = self._record(history, capsys)
+        assert "recorded" in out
+        lines = (history / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 2  # two default variants x one repeat
+        for line in lines:
+            record = json.loads(line)
+            assert record["workload"] == "fourier"
+            assert record["phases"]["execute"] > 0
+
+    def test_compare_against_previous_run(self, tmp_path, capsys):
+        history = tmp_path / "ph"
+        self._record(history, capsys)
+        self._record(history, capsys)
+        verdict = tmp_path / "verdict.json"
+        # Wide threshold: this tests the pairing/JSON/exit plumbing;
+        # the noise model itself is unit-tested in tests/perf/ (one
+        # repeat has no MAD cushion, so a loaded machine could trip a
+        # tight gate here and make the test flaky).
+        assert main(["perf", "compare", "--history", str(history),
+                     "--threshold", "500%",
+                     "--json", str(verdict)]) == 0
+        out = capsys.readouterr().out
+        assert "previous recorded run" in out
+        doc = json.loads(verdict.read_text())
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == 2
+
+    def test_compare_single_run_needs_baseline(self, tmp_path, capsys):
+        history = tmp_path / "ph"
+        self._record(history, capsys)
+        assert main(["perf", "compare", "--history",
+                     str(history)]) == 2
+
+    def test_fail_on_regression_gates(self, tmp_path, capsys):
+        """A baseline whose deterministic counts are better than the
+        current run trips the gate (exit 1) — no timing flakiness."""
+        history = tmp_path / "ph"
+        self._record(history, capsys)
+        baseline = tmp_path / "baseline.jsonl"
+        with open(baseline, "w") as handle:
+            for line in (history / "history.jsonl").read_text() \
+                    .splitlines():
+                record = json.loads(line)
+                record["measures"]["dyn_extend32"] -= 1
+                handle.write(json.dumps(record) + "\n")
+        assert main(["perf", "compare", "--history", str(history),
+                     "--against", str(baseline),
+                     "--fail-on-regression", "10%"]) == 1
+
+    def test_report_writes_self_contained_html(self, tmp_path, capsys):
+        history = tmp_path / "ph"
+        self._record(history, capsys)
+        out_file = tmp_path / "dash.html"
+        assert main(["perf", "report", "--history", str(history),
+                     "--out", str(out_file)]) == 0
+        html = out_file.read_text()
+        assert "<svg" in html
+        assert "<script src" not in html and "<link" not in html
