@@ -20,19 +20,25 @@ Lower layers stay importable for IR-level work:
 * :mod:`repro.harness` — regenerate the paper's tables and figures.
 * :mod:`repro.fuzz` — differential fuzzing campaigns, divergence
   corpus, and witness reduction (``repro.fuzz_campaign``).
+* :mod:`repro.profile` — the execution observatory: per-block hotness
+  profiles, artifacts, and renderers.  The facade verb lives on the
+  api module (``repro.api.profile`` — compile + execute + profile in
+  one call; not re-exported here, where the name would shadow the
+  submodule).
 
 ``compile_program`` and ``run_workload`` are the pre-facade entry
 points; they still work but raise :class:`DeprecationWarning` (see
 docs/API.md for the deprecation policy).
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .api import (  # noqa: E402
     CampaignConfig,
     CampaignResult,
     CompileOptions,
     CompileResult,
+    ProfileResult,
     RunResult,
     SuiteResult,
     bench,
@@ -48,6 +54,7 @@ __all__ = [
     "CampaignResult",
     "CompileOptions",
     "CompileResult",
+    "ProfileResult",
     "RunResult",
     "SignExtConfig",
     "SuiteResult",

@@ -24,7 +24,7 @@ in docs/API.md.  The pre-facade entry points ``compile_program`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -44,6 +44,7 @@ from .harness import (
 from .interp import default_translation_cache, execute
 from .ir.function import Program
 from .machine.costs import CycleReport, count_cycles
+from .profile import ExecutionProfile, artifact_path, build_profile, write_profile
 from .telemetry import Telemetry
 from .workloads import Workload, get_workload
 
@@ -52,12 +53,14 @@ __all__ = [
     "CampaignResult",
     "CompileOptions",
     "CompileResult",
+    "ProfileResult",
     "RunResult",
     "SuiteResult",
     "bench",
     "compile",
     "driver_from_options",
     "fuzz_campaign",
+    "profile",
     "run",
 ]
 
@@ -191,6 +194,69 @@ def run(
 
 
 @dataclass
+class ProfileResult:
+    """A profiled compile-and-execute (see :func:`profile`)."""
+
+    compile: CompileResult
+    profile: ExecutionProfile
+    #: artifact location when ``options.profile_dir`` was set
+    artifact: Path | None = None
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        return self.compile.telemetry
+
+
+def profile(
+    source: Program | str | Path | Workload,
+    options: CompileOptions | None = None,
+    *,
+    config: SignExtConfig | None = None,
+    workload: str = "",
+) -> ProfileResult:
+    """Compile ``source``, execute it under profiling, and return the
+    :class:`~repro.profile.ExecutionProfile`.
+
+    Telemetry is always collected so the profile can inline the
+    compile-time elimination verdicts at surviving extend sites.  When
+    ``options.profile_dir`` is set the artifact is also written there
+    (deterministic JSON, see docs/PROFILING.md) and its path returned.
+    ``engine="both"`` keeps the parity check: both engines run, and the
+    profile is built from the closure engine's result.
+    """
+    options = options if options is not None else CompileOptions()
+    if isinstance(source, Workload):
+        workload = workload or source.name
+        source = source.program()
+    program = _coerce_program(source)
+    traits = config.traits if config is not None else options.traits()
+
+    if not options.telemetry:
+        options = replace(options, telemetry=True)
+    compiled = compile(program, options, config=config)
+    execution = execute(compiled.program, engine=options.engine,
+                        traits=traits, fuel=options.fuel,
+                        collect_profile=True)
+    decisions = (compiled.telemetry.decisions
+                 if compiled.telemetry is not None else None)
+    built = build_profile(
+        compiled.program, execution,
+        traits=traits,
+        engine=options.engine,
+        variant=options.variant,
+        machine=options.machine,
+        workload=workload,
+        decisions=decisions,
+    )
+    artifact = None
+    if options.profile_dir:
+        artifact = artifact_path(options.profile_dir, workload or program.name,
+                                 options.variant, options.machine)
+        write_profile(built, artifact)
+    return ProfileResult(compile=compiled, profile=built, artifact=artifact)
+
+
+@dataclass
 class SuiteResult:
     """A benchmark sweep plus the driver statistics it accumulated."""
 
@@ -252,6 +318,7 @@ def bench(
             collect_telemetry=options.telemetry,
             driver=driver,
             engine=options.engine,
+            profile_dir=options.profile_dir,
         )
         stats = dict(driver.stats())
         stats.update(default_translation_cache().stats())

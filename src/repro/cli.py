@@ -9,6 +9,7 @@ Usage::
     python -m repro variants program.j32       # all 12 table rows
     python -m repro compile a.j32 b.j32 --jobs 2 --cache
     python -m repro bench huffman --jobs 2 --cache
+    python -m repro profile huffman --heatmap hot.html   # hot-block profile
     python -m repro trace program.j32 --out trace.json   # about://tracing
     python -m repro fuzz --seeds 1000 --jobs 4           # differential fuzz
     python -m repro perf record                          # append to perf history
@@ -246,6 +247,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if options.cache:
         print(f"[cache: {suite.cache_hits} hits, "
               f"{suite.cache_misses} misses]")
+    if options.profile_dir:
+        print(f"[profile artifacts written under {options.profile_dir}]")
     if args.telemetry is not None:
         document = {
             "workload": args.workload,
@@ -259,6 +262,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"[telemetry written to {args.telemetry}]")
     _finish_stats(args, suite.driver_stats)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one workload (or ``.j32`` file) and render the views."""
+    from .profile import (
+        format_annotated_ir,
+        format_flamegraph,
+        format_profile_summary,
+        render_heatmap_html,
+    )
+    from .workloads import JBYTEMARK, SPECJVM98, get_workload
+
+    options = CompileOptions.from_cli_args(args)
+    if args.target in JBYTEMARK + SPECJVM98:
+        source = get_workload(args.target)
+    elif pathlib.Path(args.target).exists():
+        source = _load(args.target)
+    else:
+        print(f"unknown workload or file {args.target!r}; workloads: "
+              + ", ".join(JBYTEMARK + SPECJVM98), file=sys.stderr)
+        return 1
+    outcome = api.profile(source, options)
+    prof = outcome.profile
+
+    print(format_profile_summary(prof))
+    if outcome.artifact is not None:
+        print(f"[profile artifact written to {outcome.artifact}]")
+    if args.ir:
+        print()
+        print(format_annotated_ir(outcome.compile.program, prof))
+    if args.flame:
+        with open(args.flame, "w") as handle:
+            handle.write(format_flamegraph(prof) + "\n")
+        print(f"[collapsed stacks written to {args.flame} — feed to any "
+              "flamegraph tool]")
+    if args.heatmap:
+        with open(args.heatmap, "w", encoding="utf-8") as handle:
+            handle.write(render_heatmap_html(
+                [prof], title=f"repro profile: {prof.workload or prof.program}"
+            ))
+        print(f"[heatmap written to {args.heatmap} — self-contained, "
+              "open in any browser]")
     return 0
 
 
@@ -280,6 +326,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         replay_only=args.replay,
         max_divergences=args.max_divergences,
         engine=args.engine or "closure",
+        profile_dir=args.profile_dir,
     )
     telemetry = (Telemetry(label="fuzz-campaign")
                  if args.telemetry is not None else None)
@@ -409,9 +456,16 @@ def cmd_perf_report(args: argparse.Namespace) -> int:
     if args.baseline:
         records.extend(load_jsonl(args.baseline))
     records.extend(HistoryStore(args.history).records())
+    profiles = None
+    if args.profiles:
+        from .profile import load_profiles
+
+        profiles = load_profiles(args.profiles)
+        print(f"[{len(profiles)} profile artifacts loaded from "
+              f"{args.profiles}]")
     print(format_history_summary(records))
     with open(args.out, "w", encoding="utf-8") as handle:
-        handle.write(render_html(records))
+        handle.write(render_html(records, profiles=profiles))
     print(f"[dashboard written to {args.out} — self-contained, "
           "open in any browser]")
     return 0
@@ -520,9 +574,32 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument("--telemetry", default=None,
                               metavar="OUT.JSON",
                               help="collect + write per-variant telemetry")
+    bench_parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                              help="write one execution-profile artifact "
+                                   "per (variant) cell under DIR")
     _engine_arg(bench_parser)
     _driver_args(bench_parser)
     bench_parser.set_defaults(fn=cmd_bench)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="profile one workload: hot blocks, annotated IR, "
+                        "flamegraph stacks, HTML heatmap (docs/PROFILING.md)"
+    )
+    profile_parser.add_argument("target",
+                                help="workload name or a .j32 file")
+    profile_parser.add_argument("--dir", dest="profile_dir", default=None,
+                                metavar="DIR",
+                                help="write the profile artifact under DIR")
+    profile_parser.add_argument("--ir", action="store_true",
+                                help="print the hotness-annotated IR dump")
+    profile_parser.add_argument("--flame", default=None, metavar="OUT.TXT",
+                                help="write collapsed flamegraph stacks")
+    profile_parser.add_argument("--heatmap", default=None,
+                                metavar="OUT.HTML",
+                                help="write the standalone heatmap panel")
+    _common_args(profile_parser)
+    _engine_arg(profile_parser)
+    profile_parser.set_defaults(fn=cmd_profile)
 
     fuzz_parser = subparsers.add_parser(
         "fuzz", help="differential fuzzing campaign across all variants "
@@ -567,6 +644,9 @@ def main(argv: list[str] | None = None) -> int:
                              help="DEBUG: compile with a deliberately "
                                   "broken AnalyzeDEF to self-test the "
                                   "campaign oracle")
+    fuzz_parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                             help="write a hotness profile of each new "
+                                  "witness's gold run under DIR (triage)")
     fuzz_parser.add_argument("--json", default=None, metavar="OUT.JSON",
                              help="write the campaign report here")
     fuzz_parser.add_argument("--telemetry", default=None,
@@ -647,6 +727,9 @@ def main(argv: list[str] | None = None) -> int:
                                   "plots")
     perf_report.add_argument("--out", default="perf-report.html",
                              help="dashboard output path")
+    perf_report.add_argument("--profiles", default=None, metavar="DIR",
+                             help="embed per-workload hot-block heatmaps "
+                                  "from the profile artifacts under DIR")
     perf_report.set_defaults(fn=cmd_perf_report)
 
     report_parser = subparsers.add_parser(

@@ -129,6 +129,10 @@ class CompileOptions:
     #: The literal default tracks ``repro.interp.engine.DEFAULT_ENGINE``
     #: (not imported here to keep ``repro.core`` import-light).
     engine: str = "closure"
+    #: directory for execution-profile artifacts (``None`` = don't
+    #: profile; the flag gates *all* per-run profile collection, so the
+    #: hot loops stay untouched when it is off — see docs/PROFILING.md)
+    profile_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -160,6 +164,7 @@ class CompileOptions:
             cache_dir=getattr(args, "cache_dir", defaults.cache_dir),
             timeout=getattr(args, "timeout", defaults.timeout),
             engine=getattr(args, "engine", None) or defaults.engine,
+            profile_dir=getattr(args, "profile_dir", defaults.profile_dir),
         )
 
     def traits(self) -> MachineTraits:

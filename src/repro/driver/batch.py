@@ -251,11 +251,14 @@ class BatchCompiler:
     # -- inspection ----------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
-        """Pool + cache counter snapshot for ``--stats`` and tests."""
+        """Pool + cache counter snapshot for ``--stats`` and tests.
+
+        Keys are sorted so two identical runs dump identical JSON.
+        """
         out: dict[str, int] = {}
         for family in ("driver.pool.jobs", "driver.pool.compiled",
                        "driver.pool.fallbacks"):
             out.update(self.metrics.counter_family(family))
         if self.cache is not None:
             out.update(self.cache.stats())
-        return out
+        return dict(sorted(out.items()))

@@ -86,6 +86,10 @@ class CampaignConfig:
     #: execution engine for every interpreter run; ``"both"`` also
     #: cross-checks closure-vs-reference parity on every compiled cell
     engine: str = "closure"
+    #: write an execution-profile artifact of every new witness's gold
+    #: run under this directory (divergence triage: the profile shows
+    #: which blocks the diverging program actually exercises)
+    profile_dir: str | None = None
 
     def __post_init__(self) -> None:
         for name in self.variants:
@@ -401,7 +405,36 @@ class Campaign:
             self._reduce_witness(witness)
         with self._span("fuzz.persist"):
             self.corpus.add(witness)
+        if self.config.profile_dir is not None:
+            self._profile_witness(witness)
         result.divergences.append(witness)
+
+    def _profile_witness(self, witness: Witness) -> None:
+        """Best-effort hotness profile of the witness's gold run.
+
+        Frontend witnesses have no executable program, and a crashing
+        gold run has no successful execution to profile; both simply
+        skip (a missing triage aid must never fail the campaign).
+        """
+        if witness.variant == FRONTEND_VARIANT:
+            return
+        from ..interp import execute
+        from ..profile import artifact_path, build_profile, write_profile
+
+        try:
+            program = compile_source(witness.source, f"witness{witness.id}")
+            run = execute(program, engine=self.config.engine, mode="ideal",
+                          fuel=self.config.fuel, collect_profile=True)
+            profile = build_profile(
+                program, run, engine=self.config.engine,
+                variant=witness.variant, machine=witness.machine,
+                workload=f"witness-{witness.id}",
+            )
+            write_profile(profile, artifact_path(
+                self.config.profile_dir, "witness", str(witness.id)))
+            self._count("witness_profiles")
+        except Exception:
+            self._count("witness_profile_failures")
 
     def _reduce_witness(self, witness: Witness) -> None:
         if witness.variant == FRONTEND_VARIANT:

@@ -82,6 +82,7 @@ def measure_workload(
     engine: str = DEFAULT_ENGINE,
     recorder: "PerfRecorder | None" = None,
     repeat_index: int = 0,
+    profile_dir: str | None = None,
 ) -> WorkloadResults:
     """Run one workload under every variant; verify soundness throughout.
 
@@ -108,6 +109,12 @@ def measure_workload(
     extension/step counts, and — when telemetry is collected — the
     cell's counter families.  ``repeat_index`` tags the record when a
     caller runs the same grid several times for min-of-repeats.
+
+    ``profile_dir`` turns every cell run into a profiled execution:
+    the interpreter collects per-block entry counts (zero extra work in
+    either engine — see :mod:`repro.profile.builder`) and one profile
+    artifact per cell lands under the directory, named
+    ``<workload>__<variant>__<machine>.profile.json``.
     """
     variants = variants if variants is not None else VARIANTS
     source = workload.program()
@@ -140,7 +147,8 @@ def measure_workload(
         metrics = telemetry.metrics if telemetry is not None else None
         execute_start = time.perf_counter()
         run = execute(compiled.program, engine=engine, traits=traits,
-                      fuel=fuel, metrics=metrics)
+                      fuel=fuel, metrics=metrics,
+                      collect_profile=profile_dir is not None)
         execute_seconds = time.perf_counter() - execute_start
         if run.observable() != gold.observable():
             raise SoundnessError(
@@ -161,6 +169,17 @@ def measure_workload(
                        else None),
         )
         results.cells[name] = cell
+        if profile_dir is not None:
+            from ..profile import artifact_path, build_profile, write_profile
+
+            built = build_profile(
+                compiled.program, run, traits=traits, engine=engine,
+                variant=name, workload=workload.name,
+                decisions=(telemetry.decisions if telemetry is not None
+                           else None),
+            )
+            write_profile(built, artifact_path(
+                profile_dir, workload.name, name, traits.name))
         if recorder is not None:
             _record_cell(recorder, cell, config=config.with_traits(traits),
                          engine=engine, fuel=fuel,
@@ -215,6 +234,7 @@ def run_suite(
     engine: str = DEFAULT_ENGINE,
     recorder: "PerfRecorder | None" = None,
     repeat_index: int = 0,
+    profile_dir: str | None = None,
 ) -> list[WorkloadResults]:
     """Measure every workload, sharing one driver across the grid."""
     if driver is None:
@@ -222,12 +242,13 @@ def run_suite(
             return run_suite(workloads, variants, traits=traits, fuel=fuel,
                              collect_telemetry=collect_telemetry,
                              driver=private_driver, engine=engine,
-                             recorder=recorder, repeat_index=repeat_index)
+                             recorder=recorder, repeat_index=repeat_index,
+                             profile_dir=profile_dir)
     return [
         measure_workload(w, variants, traits=traits, fuel=fuel,
                          collect_telemetry=collect_telemetry,
                          driver=driver, engine=engine, recorder=recorder,
-                         repeat_index=repeat_index)
+                         repeat_index=repeat_index, profile_dir=profile_dir)
         for w in workloads
     ]
 

@@ -295,14 +295,21 @@ class ClosureInterpreter(Interpreter):
         site_counts = self.site_counts
         opcode_counts = self.opcode_counts
         extend_counts = self.extend_counts
+        expose_entries = self.collect_profile
         for name, entries in self._entries.items():
             translated = self._translated[name]
             layout = self._layouts[name]
             blocks = translated.blocks
+            folded = (self.block_entries.setdefault(name, {})
+                      if expose_entries else None)
             for bidx, count in enumerate(entries):
                 if not count:
                     continue
                 block = blocks[bidx]
+                if folded is not None:
+                    folded[block.label] = (
+                        folded.get(block.label, 0) + count
+                    )
                 for uid in layout[block.label]:
                     site_counts[uid] = site_counts.get(uid, 0) + count
                 for opcode, k in block.op_counts:

@@ -146,6 +146,11 @@ class Interpreter:
         self.site_counts: dict[int, int] = {}
         self.opcode_counts: dict[Opcode, int] = {}
         self.profiles: dict[str, dict[tuple[str, str], int]] = {}
+        #: func name -> {block label: dynamic entry count}.  Mirrors the
+        #: closure engine's fold-on-success counters; only maintained
+        #: when ``collect_profile`` is on (the per-step loop is
+        #: untouched otherwise — see docs/PROFILING.md on overhead).
+        self.block_entries: dict[str, dict[str, int]] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -219,8 +224,11 @@ class Interpreter:
         position = 0
         instrs = block.instrs
         profile = None
+        entries = None
         if self.collect_profile:
             profile = self.profiles.setdefault(func.name, {})
+            entries = self.block_entries.setdefault(func.name, {})
+            entries[block.label] = entries.get(block.label, 0) + 1
 
         while True:
             if position >= len(instrs):
@@ -242,6 +250,7 @@ class Interpreter:
                 if profile is not None:
                     key = (block.label, target)
                     profile[key] = profile.get(key, 0) + 1
+                    entries[target] = entries.get(target, 0) + 1
                 block = func.block(target)
                 instrs = block.instrs
                 position = 0
@@ -251,6 +260,7 @@ class Interpreter:
                 if profile is not None:
                     key = (block.label, target)
                     profile[key] = profile.get(key, 0) + 1
+                    entries[target] = entries.get(target, 0) + 1
                 block = func.block(target)
                 instrs = block.instrs
                 position = 0

@@ -446,17 +446,30 @@ def _speedup_section(history: _History) -> str:
 # -- entry points -------------------------------------------------------------
 
 def render_html(records: list[RunRecord],
-                title: str = "repro perf dashboard") -> str:
-    """The whole dashboard as one self-contained HTML document."""
+                title: str = "repro perf dashboard",
+                profiles: list | None = None) -> str:
+    """The whole dashboard as one self-contained HTML document.
+
+    ``profiles`` optionally appends one hot-block heatmap figure per
+    :class:`~repro.profile.ExecutionProfile` artifact (the
+    ``repro perf report --profiles DIR`` view).
+    """
     history = _History(records)
     sections = [_tiles(history), _cache_section(history),
                 _speedup_section(history)]
     for workload in history.workloads():
         sections.append(_extends_section(history, workload))
         sections.append(_phase_section(history, workload))
+    extra_css = ""
+    if profiles:
+        from ..profile.heatmap import HEAT_CSS, heatmap_section
+
+        extra_css = HEAT_CSS
+        sections.append("<h2>hot blocks (profile artifacts)</h2>")
+        sections.extend(heatmap_section(p) for p in profiles)
     generated = time.strftime("%Y-%m-%d %H:%M:%S")
     body = "".join(s for s in sections if s)
-    if not records:
+    if not records and not profiles:
         body = "<p>No perf records yet — run <code>repro perf record"\
                "</code> first.</p>"
     return (
@@ -464,7 +477,8 @@ def render_html(records: list[RunRecord],
         "<meta charset=\"utf-8\">"
         "<meta name=\"viewport\" content=\"width=device-width, "
         "initial-scale=1\">"
-        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<title>{_esc(title)}</title><style>{_CSS}{extra_css}</style>"
+        "</head>"
         f"<body><h1>{_esc(title)}</h1>{body}"
         f"<footer>generated {generated} · {len(records)} records · "
         "all assets inline</footer></body></html>\n"

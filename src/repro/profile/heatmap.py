@@ -1,0 +1,144 @@
+"""Self-contained HTML heatmap panel for profile artifacts.
+
+One figure per profiled execution: each function is a row of cells,
+one cell per basic block in layout order, shaded by dynamic entry
+count on a log scale.  The panel follows the perf dashboard's chart
+conventions (:mod:`repro.perf.report`):
+
+* magnitude is a **sequential single-hue ramp** (light→dark blue);
+  the dark color scheme declares its own steps against the dark
+  surface rather than flipping the light ones;
+* the color scale is never the only encoding — every cell carries a
+  native ``<title>`` tooltip and each figure a collapsible data table
+  with the exact counts;
+* a scale legend maps the ramp ends to the min/max observed entries.
+
+:func:`render_heatmap_html` emits a standalone document (the
+``repro profile --heatmap`` artifact); :func:`heatmap_section` emits
+one embeddable ``<figure>`` fragment, which ``repro perf report
+--profiles`` splices into the dashboard as the per-workload hot-block
+view.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..perf.report import _CSS, _data_table, _esc
+from .model import ExecutionProfile, _ranked_blocks, _ranked_functions
+
+#: Sequential ramp, one blue hue, light→dark (magnitude encoding).
+_HEAT_LIGHT = ["#eef3fb", "#cdddf4", "#9cc0e8", "#649ada",
+               "#2a78d6", "#1a4f93"]
+#: Dark-mode steps are selected against the dark surface, not flipped:
+#: low magnitude sits near the surface, high magnitude brightens.
+_HEAT_DARK = ["#202a3c", "#24406a", "#2b5a96", "#3379c4",
+              "#3987e5", "#8ab6f1"]
+
+HEAT_CSS = (
+    ":root {\n"
+    + "".join(f"  --heat-{i}: {hex_};\n"
+              for i, hex_ in enumerate(_HEAT_LIGHT))
+    + "}\n"
+    "@media (prefers-color-scheme: dark) {\n  :root {\n"
+    + "".join(f"    --heat-{i}: {hex_};\n"
+              for i, hex_ in enumerate(_HEAT_DARK))
+    + "  }\n}\n"
+    ".heatmap { display: grid; gap: 4px; margin: 8px 0; }\n"
+    ".heatrow { display: flex; align-items: center; gap: 2px; }\n"
+    ".heatrow .fn { width: 180px; flex: none; overflow: hidden;\n"
+    "  text-overflow: ellipsis; white-space: nowrap;\n"
+    "  color: var(--text-secondary); font-size: 0.8rem; }\n"
+    ".cell { width: 22px; height: 22px; border-radius: 4px;\n"
+    "  flex: none; }\n"
+    ".cell.cold { outline: 1px dashed var(--grid);\n"
+    "  outline-offset: -1px; }\n"
+    ".scale { display: flex; align-items: center; gap: 6px;\n"
+    "  color: var(--text-secondary); font-size: 0.8rem;\n"
+    "  margin: 6px 0; }\n"
+    ".scale .step { width: 18px; height: 10px; border-radius: 3px; }\n"
+)
+
+
+def _bin(entries: int, max_entries: int) -> int:
+    """Log-scale bucket 0..5 (0 = never entered)."""
+    if entries <= 0 or max_entries <= 0:
+        return 0
+    span = math.log1p(max_entries)
+    position = math.log1p(entries) / span if span else 1.0
+    return max(1, min(5, 1 + int(position * 4.999)))
+
+
+def _scale_legend(max_entries: int) -> str:
+    steps = "".join(
+        f'<span class="step" style="background:var(--heat-{i})"></span>'
+        for i in range(1, 6)
+    )
+    return (f'<div class="scale"><span>1</span>{steps}'
+            f'<span>{max_entries:,} entries (log scale)</span></div>')
+
+
+def heatmap_section(profile: ExecutionProfile) -> str:
+    """One embeddable ``<figure>``: the profile's hot-block heatmap."""
+    max_entries = max(
+        (b.entries for f in profile.functions for b in f.blocks),
+        default=0,
+    )
+    if max_entries == 0:
+        return ""
+    rows = []
+    table_rows = []
+    for func in _ranked_functions(profile.functions):
+        if not any(b.entries for b in func.blocks):
+            continue
+        cells = []
+        for block in func.blocks:  # layout order = reading order
+            bucket = _bin(block.entries, max_entries)
+            cold = ' cold' if not block.entries else ""
+            share = (100.0 * block.self_cycles / profile.total_cycles
+                     if profile.total_cycles else 0.0)
+            cells.append(
+                f'<div class="cell{cold}" '
+                f'style="background:var(--heat-{bucket})" '
+                f'title="{_esc(func.name)}.{_esc(block.label)}: '
+                f'{block.entries:,} entries, '
+                f'{block.self_cycles:.0f} cycles ({share:.1f}%)"></div>'
+            )
+        rows.append(f'<div class="heatrow">'
+                    f'<span class="fn" title="{_esc(func.name)}">'
+                    f'{_esc(func.name)}</span>{"".join(cells)}</div>')
+        for block in _ranked_blocks(func.blocks):
+            if block.entries:
+                table_rows.append((func.name, block.label,
+                                   f"{block.entries:,}",
+                                   f"{block.self_cycles:.0f}"))
+    label = profile.workload or profile.program
+    caption = (f"{label}: per-block entry heatmap "
+               f"({profile.engine} engine, variant "
+               f"“{profile.variant or 'unknown'}”)")
+    table = _data_table(("function", "block", "entries", "self cycles"),
+                        table_rows)
+    return (f"<figure><figcaption>{_esc(caption)}</figcaption>"
+            f"{_scale_legend(max_entries)}"
+            f'<div class="heatmap">{"".join(rows)}</div>'
+            f"{table}</figure>")
+
+
+def render_heatmap_html(profiles: list[ExecutionProfile],
+                        title: str = "repro profile heatmap") -> str:
+    """A standalone document: one heatmap figure per profile."""
+    sections = [heatmap_section(p) for p in profiles]
+    body = "".join(s for s in sections if s)
+    if not body:
+        body = "<p>No profiled executions to plot.</p>"
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        "<meta charset=\"utf-8\">"
+        "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}{HEAT_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{body}"
+        f"<footer>{len(profiles)} profile artifacts · all assets "
+        "inline</footer></body></html>\n"
+    )

@@ -1,0 +1,321 @@
+"""The execution-profile data model and its versioned artifact schema.
+
+A profile is the runtime counterpart of the compile-time decision log:
+where did block entries, sign extensions, and modelled cycles actually
+go during one execution.  The model is deliberately *derived* data —
+:mod:`repro.profile.builder` reconstructs every number from the
+``ExecResult`` the engines already produce, so collecting a profile
+adds no per-instruction work to either hot loop.
+
+Artifacts serialize to one JSON document (``kind: "repro-profile"``,
+``schema_version: 1``) that is **content-fingerprinted** (a SHA-256
+digest over the canonical payload, excluding the fingerprint itself)
+and **deterministic**: rows are ranked by hotness with stable name
+tie-breaks, and nothing host- or time-dependent enters the payload, so
+two runs of the same program produce byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.frequency import BranchProfile
+
+#: Bump when the artifact layout changes; loaders reject newer majors.
+SCHEMA_VERSION = 1
+
+#: Discriminator so a profile artifact is never mistaken for telemetry,
+#: perf-history, or fuzz-corpus JSON.
+ARTIFACT_KIND = "repro-profile"
+
+
+@dataclass
+class ExtendSite:
+    """One static sign-extension site and its dynamic execution count."""
+
+    uid: int
+    instr: str
+    width: int
+    count: int
+    #: compile-time verdict from the decision log, when one was attached
+    #: ("eliminated" sites no longer appear in compiled code, so a site
+    #: present here is either "kept" or was never a candidate)
+    verdict: str | None = None
+    cause: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "uid": self.uid,
+            "instr": self.instr,
+            "width": self.width,
+            "count": self.count,
+        }
+        if self.verdict is not None:
+            out["verdict"] = self.verdict
+        if self.cause is not None:
+            out["cause"] = self.cause
+        return out
+
+
+@dataclass
+class BlockProfile:
+    """Hotness of one basic block."""
+
+    label: str
+    #: dynamic entries — exactly the closure engine's fold-on-success
+    #: counter for this block
+    entries: int
+    #: static instructions in the executed cut (through the terminator)
+    instrs: int
+    #: modelled cycles spent in this block's own instructions
+    self_cycles: float
+    extend_sites: list[ExtendSite] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "entries": self.entries,
+            "instrs": self.instrs,
+            "self_cycles": self.self_cycles,
+            "extend_sites": [s.as_dict() for s in self.extend_sites],
+        }
+
+
+@dataclass
+class FunctionProfile:
+    """Hotness of one function: blocks, edges, calls, time estimates."""
+
+    name: str
+    #: entries of the function's entry block (== times called)
+    entries: int
+    blocks: list[BlockProfile] = field(default_factory=list)
+    #: (src label, dst label) -> taken count; only populated when the
+    #: run collected branch profiles
+    edges: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: callee name -> dynamic call count out of this function
+    calls: dict[str, int] = field(default_factory=dict)
+    self_cycles: float = 0.0
+    #: self plus attributed callee cycles (call-graph propagated)
+    cumulative_cycles: float = 0.0
+
+    def block(self, label: str) -> BlockProfile:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(label)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "entries": self.entries,
+            "self_cycles": self.self_cycles,
+            "cumulative_cycles": self.cumulative_cycles,
+            "calls": {k: self.calls[k] for k in sorted(self.calls)},
+            "blocks": [b.as_dict() for b in _ranked_blocks(self.blocks)],
+            "edges": [
+                {"src": src, "dst": dst, "count": count}
+                for (src, dst), count in sorted(self.edges.items())
+            ],
+        }
+
+
+@dataclass
+class ExecutionProfile:
+    """Everything one profiled execution established."""
+
+    program: str
+    engine: str
+    functions: list[FunctionProfile] = field(default_factory=list)
+    #: run identification, free-form but deterministic (variant name,
+    #: machine name, workload name — never timestamps or hosts)
+    variant: str = ""
+    machine: str = ""
+    workload: str = ""
+    steps: int = 0
+    checksum: int = 0
+    total_cycles: float = 0.0
+    extend_cycles: float = 0.0
+    #: dynamic executions of explicit sign extensions, by source width
+    extend_totals: dict[int, int] = field(default_factory=dict)
+    #: opcode name -> dynamic execution count
+    opcode_totals: dict[str, int] = field(default_factory=dict)
+
+    def function(self, name: str) -> FunctionProfile:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def block_entries(self) -> dict[str, dict[str, int]]:
+        """``{function: {block label: entry count}}`` — the shape the
+        closure engine's fold counters take."""
+        return {
+            func.name: {b.label: b.entries for b in func.blocks}
+            for func in self.functions
+        }
+
+    def branch_profiles(self) -> dict[str, BranchProfile]:
+        """Round-trip into :func:`collect_branch_profiles`-compatible
+        :class:`BranchProfile` objects (functions with observed edges)."""
+        return {
+            func.name: BranchProfile(dict(func.edges))
+            for func in self.functions
+            if func.edges
+        }
+
+    # -- serialization --------------------------------------------------
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical (fingerprint-free) document body."""
+        return {
+            "kind": ARTIFACT_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "program": self.program,
+            "workload": self.workload,
+            "variant": self.variant,
+            "machine": self.machine,
+            "engine": self.engine,
+            "steps": self.steps,
+            "checksum": f"{self.checksum:#018x}",
+            "totals": {
+                "cycles": self.total_cycles,
+                "extend_cycles": self.extend_cycles,
+                "extends": {str(w): self.extend_totals[w]
+                            for w in sorted(self.extend_totals)},
+                "opcodes": {k: self.opcode_totals[k]
+                            for k in sorted(self.opcode_totals)},
+            },
+            "functions": [
+                f.as_dict() for f in _ranked_functions(self.functions)
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical payload; content-addresses the
+        artifact the same way perf records and the compile cache are."""
+        canonical = json.dumps(self.payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        document = self.payload()
+        document["fingerprint"] = self.fingerprint()
+        return document
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "ExecutionProfile":
+        problems = validate_profile(document)
+        if problems:
+            raise ValueError(f"invalid profile artifact: {problems[0]}")
+        totals = document["totals"]
+        profile = cls(
+            program=document["program"],
+            engine=document["engine"],
+            variant=document.get("variant", ""),
+            machine=document.get("machine", ""),
+            workload=document.get("workload", ""),
+            steps=document["steps"],
+            checksum=int(document["checksum"], 16),
+            total_cycles=totals["cycles"],
+            extend_cycles=totals["extend_cycles"],
+            extend_totals={int(w): c
+                           for w, c in totals["extends"].items()},
+            opcode_totals=dict(totals["opcodes"]),
+        )
+        for fdoc in document["functions"]:
+            func = FunctionProfile(
+                name=fdoc["name"],
+                entries=fdoc["entries"],
+                self_cycles=fdoc["self_cycles"],
+                cumulative_cycles=fdoc["cumulative_cycles"],
+                calls=dict(fdoc["calls"]),
+                edges={(e["src"], e["dst"]): e["count"]
+                       for e in fdoc["edges"]},
+            )
+            for bdoc in fdoc["blocks"]:
+                func.blocks.append(BlockProfile(
+                    label=bdoc["label"],
+                    entries=bdoc["entries"],
+                    instrs=bdoc["instrs"],
+                    self_cycles=bdoc["self_cycles"],
+                    extend_sites=[
+                        ExtendSite(
+                            uid=s["uid"], instr=s["instr"],
+                            width=s["width"], count=s["count"],
+                            verdict=s.get("verdict"),
+                            cause=s.get("cause"),
+                        )
+                        for s in bdoc["extend_sites"]
+                    ],
+                ))
+            profile.functions.append(func)
+        return profile
+
+
+def _ranked_functions(
+    functions: list[FunctionProfile],
+) -> list[FunctionProfile]:
+    """Hottest first, name as the stable tie-break."""
+    return sorted(functions,
+                  key=lambda f: (-f.self_cycles, -f.entries, f.name))
+
+
+def _ranked_blocks(blocks: list[BlockProfile]) -> list[BlockProfile]:
+    return sorted(blocks,
+                  key=lambda b: (-b.entries, -b.self_cycles, b.label))
+
+
+def validate_profile(document: Any) -> list[str]:
+    """Schema-check one artifact document; returns problem strings.
+
+    Mirrors ``validate_telemetry_document``/``validate_record``: cheap
+    structural validation CI can run against emitted artifacts.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["artifact is not a JSON object"]
+    if document.get("kind") != ARTIFACT_KIND:
+        problems.append(f"kind is {document.get('kind')!r}, "
+                        f"expected {ARTIFACT_KIND!r}")
+    version = document.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"bad schema_version: {version!r}")
+    elif version > SCHEMA_VERSION:
+        problems.append(f"schema_version {version} is newer than "
+                        f"supported {SCHEMA_VERSION}")
+    for key, types in (("program", str), ("engine", str), ("steps", int),
+                       ("checksum", str), ("totals", dict),
+                       ("functions", list), ("fingerprint", str)):
+        if not isinstance(document.get(key), types):
+            problems.append(f"missing or mistyped field: {key}")
+    if problems:
+        return problems
+    totals = document["totals"]
+    for key in ("cycles", "extend_cycles", "extends", "opcodes"):
+        if key not in totals:
+            problems.append(f"totals is missing {key}")
+    for fdoc in document["functions"]:
+        if not isinstance(fdoc, dict) or "name" not in fdoc:
+            problems.append("malformed function entry")
+            continue
+        for key in ("entries", "self_cycles", "cumulative_cycles",
+                    "calls", "blocks", "edges"):
+            if key not in fdoc:
+                problems.append(f"function {fdoc['name']} missing {key}")
+        for bdoc in fdoc.get("blocks", ()):
+            for key in ("label", "entries", "instrs", "self_cycles",
+                        "extend_sites"):
+                if key not in bdoc:
+                    problems.append(
+                        f"block in {fdoc['name']} missing {key}")
+                    break
+    # The fingerprint must match the payload it claims to address.
+    body = {k: v for k, v in document.items() if k != "fingerprint"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    if digest != document["fingerprint"]:
+        problems.append("fingerprint does not match payload")
+    return problems

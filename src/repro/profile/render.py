@@ -1,0 +1,180 @@
+"""Text renderers: the annotated IR dump and the flamegraph export.
+
+Two of the three ``repro profile`` views live here (the HTML heatmap is
+:mod:`repro.profile.heatmap`):
+
+* :func:`format_annotated_ir` — the program's IR with dynamic hotness
+  woven in: blocks ranked hottest-first per function, entry counts and
+  self-cycle shares in the margin, dynamic extend counts at every
+  surviving extension site, and the compile-time elimination verdict
+  (from the PR-1 decision log) inlined where one was recorded.
+* :func:`format_flamegraph` — collapsed-stack text (the
+  ``caller;callee;... value`` format every flamegraph tool ingests).
+  Stacks are reconstructed from the dynamic call graph: each function's
+  self cycles are distributed over its callers in proportion to their
+  observed call counts, and recursive edges fold into the first
+  occurrence on the stack.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Program
+from .builder import _entering_calls, _tarjan_scc
+from .model import ExecutionProfile, _ranked_blocks, _ranked_functions
+
+
+def _component_members(component_of: dict[str, int],
+                       component: int) -> list[str]:
+    return [name for name, comp in component_of.items()
+            if comp == component]
+
+
+def format_profile_summary(profile: ExecutionProfile,
+                           top: int = 5) -> str:
+    """A terminal-sized digest: hottest functions and blocks."""
+    lines = [
+        f"profile   : {profile.program}"
+        + (f" ({profile.workload})" if profile.workload else ""),
+        f"engine    : {profile.engine}   steps {profile.steps}   "
+        f"cycles {profile.total_cycles:.0f} "
+        f"({profile.extend_cycles:.0f} in sign extensions)",
+    ]
+    ranked = _ranked_functions(profile.functions)
+    for func in ranked[:top]:
+        if func.entries == 0 and func.self_cycles == 0:
+            continue
+        share = (100.0 * func.self_cycles / profile.total_cycles
+                 if profile.total_cycles else 0.0)
+        lines.append(
+            f"  {func.name:<24s} self {func.self_cycles:>12.0f} cy "
+            f"({share:5.1f}%)  cumulative {func.cumulative_cycles:>12.0f} "
+            f"cy  calls {func.entries}"
+        )
+        for block in _ranked_blocks(func.blocks)[:3]:
+            if not block.entries:
+                continue
+            lines.append(f"    {block.label:<22s} "
+                         f"entries {block.entries:>10d}  "
+                         f"self {block.self_cycles:>12.0f} cy")
+    return "\n".join(lines)
+
+
+def format_annotated_ir(program: Program,
+                        profile: ExecutionProfile) -> str:
+    """The IR dump with hotness and elimination decisions inlined."""
+    parts = []
+    total = profile.total_cycles or 1.0
+    for fprofile in _ranked_functions(profile.functions):
+        func = program.functions.get(fprofile.name)
+        if func is None:
+            continue
+        share = 100.0 * fprofile.self_cycles / total
+        lines = [
+            f"func @{func.name}{func.sig} "
+            f"params({', '.join(str(p) for p in func.params)}) {{"
+            f"    ; calls={fprofile.entries} "
+            f"self={fprofile.self_cycles:.0f}cy ({share:.1f}%) "
+            f"cumulative={fprofile.cumulative_cycles:.0f}cy"
+        ]
+        by_label = {b.label: b for b in fprofile.blocks}
+        sites = {
+            site.uid: site
+            for block in fprofile.blocks
+            for site in block.extend_sites
+        }
+        rank = {b.label: i + 1
+                for i, b in enumerate(_ranked_blocks(fprofile.blocks))
+                if b.entries}
+        for block in func.blocks:
+            bprofile = by_label.get(block.label)
+            entries = bprofile.entries if bprofile is not None else 0
+            header = f"{block.label}:"
+            if entries:
+                header += (f"    ; entries={entries} "
+                           f"self={bprofile.self_cycles:.0f}cy "
+                           f"hot#{rank[block.label]}")
+            else:
+                header += "    ; never entered"
+            lines.append(header)
+            for instr in block.instrs:
+                text = f"  {instr}"
+                site = sites.get(instr.uid)
+                if site is not None:
+                    note = f"    ; executed {site.count}x"
+                    if site.verdict is not None:
+                        note += f" [{site.verdict}"
+                        if site.cause:
+                            note += f": {site.cause}"
+                        note += "]"
+                    text += note
+                lines.append(text)
+        lines.append("}")
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts)
+
+
+def format_flamegraph(profile: ExecutionProfile,
+                      root: str = "main") -> str:
+    """Collapsed-stack lines (``a;b;c <cycles>``), one per stack.
+
+    Cycle values are each function's *self* cycles, split across call
+    paths by the dynamic call-count fractions, so the total over all
+    lines equals ``profile.total_cycles`` (up to integer rounding).
+    Output order is deterministic (stack string order).
+    """
+    by_name = {f.name: f for f in profile.functions}
+    if root not in by_name:
+        return ""
+    # Split a callee's time over callers by calls entering its SCC from
+    # outside — recursive calls fold into the first stack occurrence,
+    # so they must not dilute the denominator either.
+    component_of = _tarjan_scc({
+        f.name: [c for c in f.calls if c in by_name]
+        for f in profile.functions
+    })
+    entering = _entering_calls(profile, component_of)
+
+    lines: dict[str, float] = {}
+
+    def descend(name: str, stack: tuple[str, ...],
+                fraction: float) -> None:
+        func = by_name[name]
+        path = stack + (name,)
+        value = func.self_cycles * fraction
+        if value > 0:
+            key = ";".join(path)
+            lines[key] = lines.get(key, 0.0) + value
+        component = component_of[name]
+        for callee in sorted(func.calls):
+            if callee not in by_name or callee in path:
+                continue  # recursion folds into the first occurrence
+            if component_of[callee] == component:
+                continue  # mutual recursion: same fold rule
+            calls = func.calls[callee]
+            child_fraction = fraction * calls / max(
+                1, entering.get(component_of[callee], calls))
+            descend(callee, path, child_fraction)
+        if len(members := _component_members(component_of, component)) > 1:
+            # A mutually recursive partner's self time lands on this
+            # stack too (it folds into the component's first frame).
+            for partner in members:
+                if partner == name or partner in path:
+                    continue
+                value = by_name[partner].self_cycles * fraction
+                if value > 0:
+                    key = ";".join(path)
+                    lines[key] = lines.get(key, 0.0) + value
+
+    descend(root, (), 1.0)
+    # Self cycles of functions unreachable from the root by attributed
+    # call edges (e.g. the root's own callers) still deserve a stack.
+    reached = {name for key in lines for name in key.split(";")}
+    for func in _ranked_functions(profile.functions):
+        if func.name not in reached and func.self_cycles > 0:
+            lines[func.name] = func.self_cycles
+
+    return "\n".join(
+        f"{stack} {round(value)}"
+        for stack, value in sorted(lines.items())
+        if round(value) > 0
+    )

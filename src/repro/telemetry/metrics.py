@@ -165,10 +165,16 @@ class MetricsRegistry:
         return instrument.value if instrument is not None else 0
 
     def counter_family(self, name: str) -> dict[str, int]:
-        """All series of one counter family, by rendered series name."""
+        """All series of one counter family, by rendered series name.
+
+        Sorted by series name, so dumps of the family (``--stats``,
+        profile artifacts, test fixtures) are byte-stable regardless of
+        the order in which label combinations first appeared.
+        """
         return {
             _series_name(n, key): c.value
-            for (n, key), c in self._counters.items() if n == name
+            for (n, key), c in sorted(self._counters.items())
+            if n == name
         }
 
     def series(self) -> Iterable[str]:

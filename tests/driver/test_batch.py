@@ -174,3 +174,12 @@ class TestTelemetryMerge:
         merged = [s.name for s in parent.tracer.roots]
         assert len(merged) == 2
         assert all(name.startswith("merged:") for name in merged)
+
+
+class TestStatsDeterminism:
+    def test_stats_keys_sorted(self):
+        """stats() is key-sorted so dumps diff cleanly across runs."""
+        with BatchCompiler() as driver:
+            driver.compile_batch(_grid_jobs())
+            stats = driver.stats()
+        assert list(stats) == sorted(stats)

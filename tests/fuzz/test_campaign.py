@@ -133,3 +133,32 @@ class TestCli:
                      "--corpus-dir", str(tmp_path / "corpus")])
         assert code == 0
         assert "0 witnesses replayed" in capsys.readouterr().out
+
+
+class TestWitnessProfiles:
+    def test_divergence_writes_profile_artifact(self, tmp_path):
+        from repro.profile import load_profiles
+
+        profile_dir = tmp_path / "profiles"
+        config = CampaignConfig(
+            seeds=40, corpus_dir=str(tmp_path / "corpus"),
+            inject_bug=True, profile_dir=str(profile_dir),
+            variants=("new algorithm (all)",), machines=("ia64",),
+            max_divergences=1,
+        )
+        result = run_campaign(config)
+        assert not result.ok
+        loaded = load_profiles(profile_dir)
+        assert len(loaded) == result.stats.get(
+            "fuzz.campaign.witness_profiles", 0) > 0
+        witness = result.divergences[0]
+        assert any(p.workload == f"witness-{witness.id}" for p in loaded)
+
+    def test_clean_campaign_writes_no_profiles(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        config = CampaignConfig(seeds=5, corpus_dir=str(tmp_path / "c"),
+                                profile_dir=str(profile_dir), **FAST)
+        result = run_campaign(config)
+        assert result.ok
+        assert not profile_dir.exists() or \
+            list(profile_dir.iterdir()) == []

@@ -103,3 +103,27 @@ class TestFigures:
         best = results.cells["new algorithm (all)"]
         improvement = best.cycles.improvement_over(results.baseline.cycles)
         assert improvement > 0
+
+
+class TestProfileArtifacts:
+    def test_measure_workload_writes_per_cell_artifacts(self, tmp_path):
+        from repro.profile import load_profile, load_profiles
+
+        variants = {"baseline": VARIANTS["baseline"],
+                    "new algorithm (all)": VARIANTS["new algorithm (all)"]}
+        results = measure_workload(_FAST, variants,
+                                   profile_dir=str(tmp_path))
+        loaded = load_profiles(tmp_path)
+        assert {p.variant for p in loaded} == set(variants)
+        assert all(p.workload == "fast" for p in loaded)
+        # names encode workload, variant, and machine
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert all(n.startswith("fast__") for n in names)
+        assert all(n.endswith(".profile.json") for n in names)
+        # artifacts round-trip bit-identically
+        for path in tmp_path.iterdir():
+            assert load_profile(path).to_dict() == \
+                load_profile(path).to_dict()
+
+    def test_profile_dir_off_writes_nothing(self, tmp_path, results):
+        assert list(tmp_path.iterdir()) == []

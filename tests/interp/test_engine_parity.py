@@ -67,9 +67,80 @@ class TestWorkloadParity:
         program = get_workload(workload_name).program()
         by_engine = [
             collect_branch_profiles(program, fuel=FUEL, engine=engine)
-            for engine in ("reference", "closure")
+            for engine in ("reference", "closure", "both")
         ]
-        assert by_engine[0] == by_engine[1]
+        assert by_engine[0] == by_engine[1] == by_engine[2]
+
+
+class TestZeroOverheadContract:
+    """Profiling must cost nothing when it is off.
+
+    The profile subsystem (PR 6) derives block entry counts from the
+    ``site_counts`` both engines already maintain, so with
+    ``collect_profile`` off there is no new per-instruction work and
+    the ``ExecResult`` surface must stay exactly the seed's: the same
+    seven fields, bit-identical values.
+    """
+
+    #: The seed's result surface.  Growing this tuple means every
+    #: engine-parity comparison pays for the new field on every run —
+    #: extend the profile artifact instead (docs/PROFILING.md).
+    SEED_FIELDS = ("checksum", "ret_value", "steps", "extend_counts",
+                   "site_counts", "opcode_counts", "profiles")
+
+    def test_exec_result_fields_unchanged(self):
+        import dataclasses
+
+        from repro.interp.interpreter import ExecResult
+
+        names = tuple(f.name for f in dataclasses.fields(ExecResult))
+        assert names == self.SEED_FIELDS
+
+    @pytest.mark.parametrize("engine", ["reference", "closure"])
+    def test_unprofiled_run_collects_no_entries(self, engine):
+        from repro.workloads import get_workload
+
+        program = get_workload("huffman").program()
+        interp = create_interpreter(program, engine=engine, mode="ideal",
+                                    fuel=FUEL)
+        interp.run()
+        assert interp.block_entries == {}
+
+    @pytest.mark.parametrize("engine", ["reference", "closure"])
+    def test_profiling_changes_only_profiles(self, engine):
+        """Every pre-existing field is identical with profiling on."""
+        from repro.workloads import get_workload
+
+        program = get_workload("huffman").program()
+        plain = create_interpreter(program, engine=engine, mode="ideal",
+                                   fuel=FUEL).run()
+        profiled = create_interpreter(program, engine=engine, mode="ideal",
+                                      fuel=FUEL,
+                                      collect_profile=True).run()
+        assert profiled.checksum == plain.checksum
+        assert profiled.ret_value == plain.ret_value
+        assert profiled.steps == plain.steps
+        assert profiled.extend_counts == plain.extend_counts
+        assert profiled.site_counts == plain.site_counts
+        assert profiled.opcode_counts == plain.opcode_counts
+        assert not plain.profiles and profiled.profiles
+
+    def test_engine_native_counters_agree(self):
+        """The two engines' own per-block counters are identical."""
+        from repro.workloads import get_workload
+
+        program = get_workload("huffman").program()
+        counters = []
+        for engine in ("reference", "closure"):
+            interp = create_interpreter(program, engine=engine,
+                                        mode="ideal", fuel=FUEL,
+                                        collect_profile=True)
+            interp.run()
+            counters.append({
+                name: dict(blocks)
+                for name, blocks in interp.block_entries.items() if blocks
+            })
+        assert counters[0] == counters[1]
 
 
 class TestCompiledVariantParity:

@@ -1,0 +1,122 @@
+"""The artifact schema: determinism, fingerprinting, validation."""
+
+import json
+
+import pytest
+
+from repro.interp import execute
+from repro.machine import IA64
+from repro.profile import (
+    ARTIFACT_KIND,
+    SCHEMA_VERSION,
+    artifact_path,
+    artifact_stem,
+    build_profile,
+    load_profile,
+    load_profiles,
+    validate_artifact_file,
+    validate_profile,
+    write_profile,
+)
+from repro.profile.model import ExecutionProfile
+from repro.workloads import get_workload
+
+FUEL = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def profile():
+    program = get_workload("huffman").program()
+    result = execute(program, mode="ideal", fuel=FUEL,
+                     collect_profile=True)
+    return build_profile(program, result, traits=IA64,
+                         variant="baseline", workload="huffman")
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self, profile):
+        document = profile.to_dict()
+        again = ExecutionProfile.from_dict(document).to_dict()
+        assert again == document
+
+    def test_document_is_deterministic(self, profile):
+        first = json.dumps(profile.to_dict(), sort_keys=True)
+        second = json.dumps(profile.to_dict(), sort_keys=True)
+        assert first == second
+
+    def test_file_round_trip(self, profile, tmp_path):
+        path = artifact_path(tmp_path, "huffman", "baseline", "ia64")
+        write_profile(profile, path)
+        assert path.name == "huffman__baseline__ia64.profile.json"
+        loaded = load_profile(path)
+        assert loaded.to_dict() == profile.to_dict()
+        assert loaded.fingerprint() == profile.fingerprint()
+        assert validate_artifact_file(path) == []
+
+    def test_write_is_byte_stable(self, profile, tmp_path):
+        a = artifact_path(tmp_path, "a")
+        b = artifact_path(tmp_path, "b")
+        write_profile(profile, a)
+        write_profile(profile, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestValidation:
+    def test_clean_document_validates(self, profile):
+        assert validate_profile(profile.to_dict()) == []
+
+    def test_wrong_kind_rejected(self, profile):
+        document = profile.to_dict()
+        document["kind"] = "not-a-profile"
+        assert any("kind" in p for p in validate_profile(document))
+
+    def test_newer_schema_rejected(self, profile):
+        document = profile.to_dict()
+        document["schema_version"] = SCHEMA_VERSION + 1
+        assert validate_profile(document)
+
+    def test_tampered_counts_break_fingerprint(self, profile):
+        document = profile.to_dict()
+        document["steps"] += 1
+        problems = validate_profile(document)
+        assert any("fingerprint" in p for p in problems)
+
+    def test_from_dict_raises_on_invalid(self, profile):
+        document = profile.to_dict()
+        document["kind"] = "garbage"
+        with pytest.raises(ValueError):
+            ExecutionProfile.from_dict(document)
+
+    def test_kind_constant(self, profile):
+        assert profile.to_dict()["kind"] == ARTIFACT_KIND
+
+
+class TestDirectoryLoading:
+    def test_load_profiles_skips_invalid(self, profile, tmp_path):
+        write_profile(profile, artifact_path(tmp_path, "good"))
+        (tmp_path / "bad.profile.json").write_text("{not json")
+        (tmp_path / "wrong.profile.json").write_text(
+            json.dumps({"kind": "other"}))
+        (tmp_path / "unrelated.json").write_text("{}")
+        loaded = load_profiles(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0].workload == "huffman"
+
+    def test_load_profiles_sorted_and_empty_dir(self, profile, tmp_path):
+        assert load_profiles(tmp_path) == []
+        for stem in ("zz", "aa", "mm"):
+            write_profile(profile, artifact_path(tmp_path, stem))
+        names = [p.fingerprint() for p in load_profiles(tmp_path)]
+        assert len(names) == 3
+
+
+class TestStemSanitising:
+    @pytest.mark.parametrize("parts,expected", [
+        (("huffman", "new algorithm (all)", "ia64"),
+         "huffman__new-algorithm-all__ia64"),
+        (("a/b", "c:d"), "a-b__c-d"),
+        ((), "profile"),
+        (("", ""), "profile"),
+    ])
+    def test_stem(self, parts, expected):
+        assert artifact_stem(*parts) == expected

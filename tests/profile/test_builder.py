@@ -1,0 +1,183 @@
+"""The profile builder: exactness against the engines' own counters.
+
+The acceptance bar for the whole subsystem: a profile's per-block entry
+counts must *exactly* equal the closure engine's fold-on-success
+counters (and the reference loop's mirrored counters), because both are
+derived from the same ``site_counts`` identity — no sampling, no
+estimation.
+"""
+
+import pytest
+
+from repro.core import VARIANTS, compile_ir
+from repro.frontend import compile_source
+from repro.interp import create_interpreter, execute
+from repro.interp.profiler import collect_branch_profiles
+from repro.machine import IA64
+from repro.profile import build_profile
+from repro.workloads import get_workload
+
+FUEL = 2_000_000
+
+
+def _profiled_run(program, engine):
+    interp = create_interpreter(program, engine=engine, fuel=FUEL,
+                                collect_profile=True)
+    result = interp.run()
+    return interp, result
+
+
+def _nonzero_entries(profile):
+    entries = {}
+    for name, blocks in profile.block_entries().items():
+        live = {label: count for label, count in blocks.items() if count}
+        if live:
+            entries[name] = live
+    return entries
+
+
+@pytest.mark.parametrize("workload_name", ["huffman", "bitfield"])
+@pytest.mark.parametrize("engine", ["closure", "reference"])
+class TestEntryCountExactness:
+    def test_source_program(self, workload_name, engine):
+        program = get_workload(workload_name).program()
+        interp, result = _profiled_run(program, engine)
+        profile = build_profile(program, result, engine=engine)
+        assert _nonzero_entries(profile) == {
+            name: dict(blocks)
+            for name, blocks in interp.block_entries.items() if blocks
+        }
+
+    def test_compiled_program(self, workload_name, engine):
+        program = get_workload(workload_name).program()
+        compiled = compile_ir(
+            program, VARIANTS["new algorithm (all)"].with_traits(IA64),
+            collect_branch_profiles(program, fuel=FUEL),
+        )
+        interp, result = _profiled_run(compiled.program, engine)
+        profile = build_profile(compiled.program, result, traits=IA64,
+                                engine=engine)
+        assert _nonzero_entries(profile) == {
+            name: dict(blocks)
+            for name, blocks in interp.block_entries.items() if blocks
+        }
+
+
+class TestBranchProfileRoundTrip:
+    """``branch_profiles()`` must be drop-in for the profiler output."""
+
+    @pytest.mark.parametrize("engine", ["closure", "reference", "both"])
+    def test_equals_collect_branch_profiles(self, engine):
+        # inline=False so the profiler observes the same program shape
+        # the raw execution below does (its default pre-inlines).
+        program = get_workload("huffman").program()
+        direct = collect_branch_profiles(program, fuel=FUEL,
+                                         engine=engine, inline=False)
+
+        result = execute(program, engine=engine, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(program, result, engine=engine)
+        round_tripped = profile.branch_profiles()
+        assert round_tripped == {
+            name: bp for name, bp in direct.items() if bp.edge_counts
+        }
+
+    def test_feeds_order_determination(self):
+        """The round-tripped profiles drive compilation unchanged."""
+        from repro.ir.clone import clone_program
+        from repro.opt.inline import inline_small_functions
+
+        source = get_workload("huffman").program()
+        # Profile the inlined shape, exactly as the profiler entry
+        # point does, so block labels line up for order determination.
+        inlined = clone_program(source)
+        inline_small_functions(inlined)
+        result = execute(inlined, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(inlined, result)
+        config = VARIANTS["new algorithm (all)"].with_traits(IA64)
+        via_profile = compile_ir(get_workload("huffman").program(), config,
+                                 profile.branch_profiles())
+        via_direct = compile_ir(
+            get_workload("huffman").program(), config,
+            collect_branch_profiles(source, fuel=FUEL),
+        )
+        assert (via_profile.static_extend_count
+                == via_direct.static_extend_count)
+
+
+class TestCycleAttribution:
+    def test_totals_are_consistent(self):
+        program = get_workload("huffman").program()
+        result = execute(program, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(program, result, traits=IA64)
+        assert profile.total_cycles == pytest.approx(
+            sum(f.self_cycles for f in profile.functions))
+        for func in profile.functions:
+            assert func.self_cycles == pytest.approx(
+                sum(b.self_cycles for b in func.blocks))
+            # cumulative covers at least the function's own work
+            assert func.cumulative_cycles >= func.self_cycles - 1e-9
+        main = profile.function("main")
+        assert main.cumulative_cycles == pytest.approx(
+            profile.total_cycles)
+
+    def test_extend_cycles_from_sites(self):
+        program = get_workload("bitfield").program()
+        result = execute(program, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(program, result, traits=IA64)
+        site_total = sum(
+            site.count
+            for func in profile.functions
+            for block in func.blocks
+            for site in block.extend_sites
+        )
+        assert site_total == sum(result.extend_counts.values())
+        assert profile.extend_cycles == pytest.approx(
+            site_total * IA64.extend_cost)
+
+    def test_recursion_does_not_double_count(self):
+        program = compile_source("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(12); }
+        """)
+        result = execute(program, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(program, result)
+        fib = profile.function("fib")
+        main = profile.function("main")
+        # fib's SCC is collapsed: cumulative is the component total, not
+        # a per-call-depth blow-up past the whole program's cycles.
+        assert fib.cumulative_cycles <= profile.total_cycles + 1e-6
+        assert main.cumulative_cycles == pytest.approx(
+            profile.total_cycles)
+
+    def test_decision_verdicts_attach_to_sites(self):
+        from repro.telemetry import Telemetry
+
+        program = get_workload("bitfield").program()
+        telemetry = Telemetry(label="bitfield")
+        compiled = compile_ir(
+            program,
+            VARIANTS["new algorithm (all)"].with_traits(IA64),
+            collect_branch_profiles(program, fuel=FUEL),
+            telemetry=telemetry,
+        )
+        result = execute(compiled.program, traits=IA64, fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(compiled.program, result, traits=IA64,
+                                decisions=telemetry.decisions)
+        verdicts = [
+            site.verdict
+            for func in profile.functions
+            for block in func.blocks
+            for site in block.extend_sites
+            if site.verdict is not None
+        ]
+        assert verdicts, "no decision verdict reached any extend site"
+        assert set(verdicts) <= {"eliminated", "kept"}

@@ -1,0 +1,123 @@
+"""The three renderers: summary, annotated IR, flamegraph, heatmap."""
+
+import pytest
+
+from repro.core import VARIANTS, compile_ir
+from repro.frontend import compile_source
+from repro.interp import execute
+from repro.interp.profiler import collect_branch_profiles
+from repro.machine import IA64
+from repro.profile import (
+    build_profile,
+    format_annotated_ir,
+    format_flamegraph,
+    format_profile_summary,
+    heatmap_section,
+    render_heatmap_html,
+)
+from repro.telemetry import Telemetry
+from repro.workloads import get_workload
+
+FUEL = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def huffman_profile():
+    program = get_workload("huffman").program()
+    result = execute(program, mode="ideal", fuel=FUEL,
+                     collect_profile=True)
+    return program, build_profile(program, result, traits=IA64,
+                                  variant="baseline", workload="huffman")
+
+
+class TestSummary:
+    def test_mentions_hot_functions(self, huffman_profile):
+        _, profile = huffman_profile
+        text = format_profile_summary(profile)
+        assert "huffman" in text
+        assert "main" in text
+        assert "cycles" in text
+
+
+class TestAnnotatedIR:
+    def test_hotness_in_margin(self, huffman_profile):
+        program, profile = huffman_profile
+        text = format_annotated_ir(program, profile)
+        assert "func @main" in text
+        assert "; entries=" in text
+        assert "hot#1" in text
+
+    def test_verdicts_inline(self):
+        program = get_workload("bitfield").program()
+        telemetry = Telemetry(label="bitfield")
+        compiled = compile_ir(
+            program,
+            VARIANTS["new algorithm (all)"].with_traits(IA64),
+            collect_branch_profiles(program, fuel=FUEL),
+            telemetry=telemetry,
+        )
+        result = execute(compiled.program, traits=IA64, fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(compiled.program, result, traits=IA64,
+                                decisions=telemetry.decisions)
+        text = format_annotated_ir(compiled.program, profile)
+        assert "; executed" in text
+        assert "[kept" in text or "[eliminated" in text
+
+
+class TestFlamegraph:
+    def test_stacks_sum_to_total_cycles(self, huffman_profile):
+        _, profile = huffman_profile
+        stacks = format_flamegraph(profile)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in stacks.splitlines())
+        assert total == pytest.approx(profile.total_cycles, abs=len(
+            stacks.splitlines()))
+        assert any(line.startswith("main ") for line in stacks.splitlines())
+
+    def test_recursive_program_sums(self):
+        program = compile_source("""
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(12); }
+        """)
+        result = execute(program, mode="ideal", fuel=FUEL,
+                         collect_profile=True)
+        profile = build_profile(program, result)
+        stacks = format_flamegraph(profile)
+        lines = stacks.splitlines()
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == pytest.approx(profile.total_cycles,
+                                      abs=len(lines) + 1)
+        # recursion folds: fib appears once per stack, never fib;fib
+        assert not any("fib;fib" in line for line in lines)
+
+    def test_unknown_root_is_empty(self, huffman_profile):
+        _, profile = huffman_profile
+        assert format_flamegraph(profile, root="nope") == ""
+
+
+class TestHeatmap:
+    def test_section_has_cells_and_table(self, huffman_profile):
+        _, profile = huffman_profile
+        section = heatmap_section(profile)
+        assert 'class="cell' in section
+        assert "<figure>" in section
+        assert "data table" in section
+        assert "entries (log scale)" in section
+        # every cell carries an exact tooltip, not color alone
+        assert "<div class=\"cell" in section and "title=" in section
+
+    def test_standalone_document(self, huffman_profile):
+        _, profile = huffman_profile
+        html = render_heatmap_html([profile])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "--heat-5" in html
+        assert "prefers-color-scheme: dark" in html
+        assert "<script" not in html and "<link" not in html
+
+    def test_empty_profile_list(self):
+        html = render_heatmap_html([])
+        assert "No profiled executions" in html

@@ -27,6 +27,18 @@ class TestCounters:
         family = registry.counter_family("hits")
         assert family == {"hits{theorem=1}": 2, "hits{theorem=3}": 1}
 
+    def test_counter_family_is_sorted(self):
+        """Families come back key-sorted regardless of creation order,
+        so JSON dumps of metrics are byte-stable across runs."""
+        registry = MetricsRegistry()
+        registry.counter("hits", theorem=3).inc(1)
+        registry.counter("hits", theorem=1).inc(2)
+        registry.counter("hits").inc(7)
+        family = registry.counter_family("hits")
+        assert list(family) == sorted(family)
+        assert list(family) == ["hits", "hits{theorem=1}",
+                                "hits{theorem=3}"]
+
     def test_counters_reject_negative(self):
         registry = MetricsRegistry()
         with pytest.raises(ValueError):

@@ -145,7 +145,7 @@ class TestCompileOptions:
         args = argparse.Namespace(
             variant="baseline", machine="ppc64", fuel=1000,
             telemetry="out.json", jobs=3, cache=True,
-            cache_dir="/tmp/c", timeout=5.0,
+            cache_dir="/tmp/c", timeout=5.0, profile_dir="/tmp/prof",
         )
         options = CompileOptions.from_cli_args(args)
         assert options.variant == "baseline"
@@ -156,6 +156,12 @@ class TestCompileOptions:
         assert options.cache is True
         assert options.cache_dir == "/tmp/c"
         assert options.timeout == 5.0
+        assert options.profile_dir == "/tmp/prof"
+
+    def test_profile_dir_defaults_off(self):
+        assert CompileOptions().profile_dir is None
+        assert CompileOptions.from_cli_args(
+            argparse.Namespace()).profile_dir is None
 
     def test_from_cli_args_sparse_namespace(self):
         options = CompileOptions.from_cli_args(argparse.Namespace())
@@ -183,7 +189,7 @@ class TestDeprecatedAliases:
     def test_top_level_reexports(self):
         assert repro.compile_program is not None
         assert repro.run_workload is not None
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_new_engines_do_not_warn(self):
         from repro.core import compile_ir
@@ -192,3 +198,62 @@ class TestDeprecatedAliases:
             warnings.simplefilter("error")
             compile_ir(compile_source(SOURCE, "quiet"),
                        VARIANTS["baseline"])
+
+
+class TestProfileFacade:
+    def test_profile_returns_execution_profile(self):
+        outcome = api.profile(SOURCE)
+        assert isinstance(outcome, repro.ProfileResult)
+        profile = outcome.profile
+        assert profile.function("main").entries == 1
+        assert profile.total_cycles > 0
+        # telemetry is forced on so verdicts can attach to sites
+        assert outcome.telemetry is not None
+
+    def test_profile_accepts_workload(self):
+        outcome = api.profile(FAST)
+        assert outcome.profile.workload == "fast_api"
+
+    def test_profile_writes_artifact_when_dir_set(self, tmp_path):
+        from repro.profile import load_profile
+
+        options = CompileOptions(variant="baseline",
+                                 profile_dir=str(tmp_path))
+        outcome = api.profile(FAST, options)
+        assert outcome.artifact is not None
+        assert outcome.artifact.exists()
+        loaded = load_profile(outcome.artifact)
+        assert loaded.to_dict() == outcome.profile.to_dict()
+
+    def test_profile_engine_both_keeps_parity_check(self):
+        outcome = api.profile(SOURCE, CompileOptions(engine="both"))
+        assert outcome.profile.engine == "both"
+        assert outcome.profile.steps > 0
+
+    def test_entries_match_closure_fold_counters(self):
+        from repro.interp import create_interpreter
+
+        outcome = api.profile(FAST)
+        interp = create_interpreter(outcome.compile.program,
+                                    engine="closure",
+                                    collect_profile=True)
+        interp.run()
+        mine = {
+            name: {b: c for b, c in blocks.items() if c}
+            for name, blocks in outcome.profile.block_entries().items()
+        }
+        mine = {name: blocks for name, blocks in mine.items() if blocks}
+        assert mine == {
+            name: dict(blocks)
+            for name, blocks in interp.block_entries.items() if blocks
+        }
+
+    def test_bench_profile_dir_writes_cell_artifacts(self, tmp_path):
+        from repro.profile import load_profiles
+
+        options = CompileOptions(profile_dir=str(tmp_path / "prof"))
+        repro.bench([FAST], variants=SMALL_VARIANTS, options=options)
+        loaded = load_profiles(tmp_path / "prof")
+        assert len(loaded) == len(SMALL_VARIANTS)
+        assert {p.variant for p in loaded} == set(SMALL_VARIANTS)
+        assert all(p.workload == "fast_api" for p in loaded)

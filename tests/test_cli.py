@@ -255,3 +255,82 @@ class TestPerf:
         html = out_file.read_text()
         assert "<svg" in html
         assert "<script src" not in html and "<link" not in html
+
+
+class TestProfile:
+    def test_profile_source_file_summary(self, source_file, capsys):
+        assert main(["profile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "main" in out
+
+    def test_profile_registry_workload(self, capsys):
+        assert main(["profile", "huffman", "--fuel", "2000000"]) == 0
+        out = capsys.readouterr().out
+        assert "huffman" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["profile", "no-such-workload"]) == 1
+        assert "no-such-workload" in capsys.readouterr().err
+
+    def test_profile_writes_artifact(self, source_file, tmp_path, capsys):
+        from repro.profile import load_profiles, validate_artifact_file
+
+        out_dir = tmp_path / "profiles"
+        assert main(["profile", source_file,
+                     "--dir", str(out_dir)]) == 0
+        artifacts = list(out_dir.iterdir())
+        assert len(artifacts) == 1
+        validate_artifact_file(artifacts[0])
+        assert len(load_profiles(out_dir)) == 1
+
+    def test_profile_renderer_outputs(self, source_file, tmp_path,
+                                      capsys):
+        flame = tmp_path / "flame.txt"
+        heat = tmp_path / "heat.html"
+        assert main(["profile", source_file, "--ir",
+                     "--flame", str(flame),
+                     "--heatmap", str(heat)]) == 0
+        out = capsys.readouterr().out
+        assert "func @main" in out  # annotated IR dump
+        stacks = flame.read_text()
+        assert stacks.startswith("main")
+        html = heat.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'class="cell' in html
+        assert "<script" not in html
+
+    def test_profile_engine_both(self, source_file, capsys):
+        assert main(["profile", source_file, "--engine", "both"]) == 0
+
+    def test_bench_profile_dir(self, tmp_path, capsys):
+        from repro.core import VARIANTS
+        from repro.profile import load_profiles
+
+        out_dir = tmp_path / "profiles"
+        assert main(["bench", "bitfield",
+                     "--profile-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "profile artifacts written" in out
+        loaded = load_profiles(out_dir)
+        assert len(loaded) == len(VARIANTS)  # one artifact per cell
+        assert all(p.workload == "bitfield" for p in loaded)
+
+    def test_perf_report_embeds_profiles(self, source_file, tmp_path,
+                                         capsys):
+        profiles = tmp_path / "profiles"
+        assert main(["profile", source_file,
+                     "--dir", str(profiles)]) == 0
+        history = tmp_path / "ph"
+        assert main(["perf", "record", "--workloads", "fourier",
+                     "--engines", "closure", "--repeat", "1",
+                     "--fuel", "2000000",
+                     "--history", str(history)]) == 0
+        out_file = tmp_path / "dash.html"
+        assert main(["perf", "report", "--history", str(history),
+                     "--profiles", str(profiles),
+                     "--out", str(out_file)]) == 0
+        html = out_file.read_text()
+        assert "hot blocks (profile artifacts)" in html
+        assert 'class="cell' in html
+        assert "<script src" not in html and "<link" not in html
