@@ -94,7 +94,7 @@ def driver_from_options(
     if options.cache:
         cache_dir = (Path(options.cache_dir) if options.cache_dir
                      else default_cache_dir())
-        cache = CompileCache(cache_dir)
+        cache = CompileCache(cache_dir, max_bytes=options.cache_max_bytes)
     return BatchCompiler(
         jobs=options.jobs,
         cache=cache,
@@ -110,20 +110,33 @@ def compile(
     *,
     config: SignExtConfig | None = None,
     profiles: dict[str, BranchProfile] | None = None,
+    driver: BatchCompiler | None = None,
 ) -> CompileResult:
     """Compile ``source`` and return the optimized program + statistics.
 
     ``config`` overrides the variant/machine the options select (for
     ablation-style custom :class:`SignExtConfig` objects); ``profiles``
-    supplies branch profiles for order determination.
+    supplies branch profiles for order determination.  ``driver``
+    optionally routes the compilation through a caller-owned
+    :class:`BatchCompiler` — long-lived services (``repro serve``)
+    mount one driver so every request shares a single
+    :class:`CompileCache` instead of re-opening it per call.
     """
     options = options if options is not None else CompileOptions()
     program = _coerce_program(source)
     cfg = config if config is not None else options.config()
 
+    if driver is not None:
+        return driver.compile_one(CompileJob(
+            label=program.name,
+            program=program,
+            config=cfg,
+            profiles=profiles,
+            collect_telemetry=options.telemetry,
+        ))
     if options.cache or options.jobs > 1:
-        with driver_from_options(options) as driver:
-            return driver.compile_one(CompileJob(
+        with driver_from_options(options) as owned:
+            return owned.compile_one(CompileJob(
                 label=program.name,
                 program=program,
                 config=cfg,
@@ -159,12 +172,14 @@ def run(
     options: CompileOptions | None = None,
     *,
     config: SignExtConfig | None = None,
+    driver: BatchCompiler | None = None,
 ) -> RunResult:
     """Compile ``source``, execute it, and verify observable behaviour.
 
     Raises :class:`~repro.harness.SoundnessError` if the optimized
     program's observable behaviour diverges from the unoptimized gold
-    run.
+    run.  ``driver`` routes the compile through a caller-owned
+    :class:`BatchCompiler` (see :func:`compile`).
     """
     options = options if options is not None else CompileOptions()
     program = _coerce_program(source)
@@ -172,7 +187,7 @@ def run(
 
     gold = execute(program, engine=options.engine, mode="ideal",
                    fuel=options.fuel)
-    compiled = compile(program, options, config=config)
+    compiled = compile(program, options, config=config, driver=driver)
     metrics = (compiled.telemetry.metrics
                if compiled.telemetry is not None else None)
     execution = execute(compiled.program, engine=options.engine,
@@ -290,6 +305,8 @@ def bench(
     workloads: Iterable[Workload | str] | None = None,
     variants: dict[str, SignExtConfig] | None = None,
     options: CompileOptions | None = None,
+    *,
+    driver: BatchCompiler | None = None,
 ) -> SuiteResult:
     """Sweep ``workloads`` × ``variants`` through the batch driver.
 
@@ -298,6 +315,8 @@ def bench(
     to the paper's twelve table rows.  ``options.jobs`` and
     ``options.cache`` turn on parallel compilation and the compile
     cache; every cell is still verified against its gold run.
+    ``driver`` reuses a caller-owned :class:`BatchCompiler` instead of
+    opening (and closing) one per sweep.
     """
     from .workloads import all_workloads
 
@@ -309,20 +328,26 @@ def bench(
             w if isinstance(w, Workload) else get_workload(w)
             for w in workloads
         ]
-    with driver_from_options(options) as driver:
+
+    def _sweep(active: BatchCompiler) -> SuiteResult:
         results = run_suite(
             resolved,
             variants,
             traits=options.traits(),
             fuel=options.fuel,
             collect_telemetry=options.telemetry,
-            driver=driver,
+            driver=active,
             engine=options.engine,
             profile_dir=options.profile_dir,
         )
-        stats = dict(driver.stats())
+        stats = dict(active.stats())
         stats.update(default_translation_cache().stats())
         return SuiteResult(results=results, driver_stats=stats)
+
+    if driver is not None:
+        return _sweep(driver)
+    with driver_from_options(options) as owned:
+        return _sweep(owned)
 
 
 def fuzz_campaign(

@@ -37,6 +37,7 @@ from . import api
 from .core import DEFAULT_VARIANT, VARIANTS
 from .core.config import CompileOptions
 from .frontend import compile_source
+from .frontend.errors import SourceError
 from .ir import format_program
 from .machine import MACHINES
 from .machine.lower import lower_function
@@ -81,6 +82,11 @@ def _driver_args(parser: argparse.ArgumentParser) -> None:
                        help="reuse compilations from the compile cache")
     group.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache location (default ~/.cache/repro)")
+    group.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="byte budget for the on-disk cache tier "
+                            "(oldest entries evicted; also honours "
+                            "$REPRO_CACHE_MAX_BYTES)")
     group.add_argument("--timeout", type=float, default=None, metavar="SEC",
                        help="per-job pool timeout before in-process "
                             "fallback")
@@ -511,6 +517,152 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile service front door (docs/SERVING.md)."""
+    import asyncio
+
+    from .serve import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        retry_after=args.retry_after,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        fuel=args.fuel,
+    )
+
+    async def _serve() -> None:
+        server = ReproServer(config)
+        await server.start()
+        print(f"serving   : http://{config.host}:{server.port} "
+              f"(workers={config.workers}, "
+              f"queue_limit={config.queue_limit})")
+        print("endpoints : POST /v1/compile /v1/run /v1/bench "
+              "/v1/profile; GET /healthz /metricsz")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\n[server stopped]")
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Drive a running server; verify and measure (docs/SERVING.md)."""
+    from dataclasses import replace as _replace
+
+    from .perf import HistoryStore, PerfRecorder, recorder_from_env
+    from .serve import (
+        Loadtest,
+        LoadtestConfig,
+        ServerConfig,
+        ServerThread,
+        record_report,
+    )
+
+    config = LoadtestConfig(
+        url=args.url,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        rate=args.rate,
+        ops=tuple(args.ops),
+        variant=args.variant,
+        machine=args.machine,
+        engine=args.engine or "closure",
+        fuel=args.fuel,
+        seed=args.seed,
+        verify=not args.no_verify,
+    )
+    spawned = None
+    if args.spawn:
+        spawned = ServerThread(ServerConfig(
+            port=0, workers=args.workers, queue_limit=args.queue_limit,
+        )).start()
+        config = _replace(config, url=spawned.base_url)
+        print(f"[spawned a server at {spawned.base_url}]")
+    try:
+        report = Loadtest(config).run()
+    finally:
+        if spawned is not None:
+            spawned.stop()
+
+    document = report.to_dict()
+    latency = document["latency_ms"]
+    print(f"mode      : {report.mode} ({config.concurrency} clients)"
+          if report.mode == "closed"
+          else f"mode      : open ({config.rate:g} req/s offered)")
+    print(f"requests  : {report.offered} offered, "
+          f"{report.completed} completed, {report.shed} shed, "
+          f"{report.errors} errors")
+    print(f"coalesced : {report.coalesced} (server-side)")
+    print(f"latency   : p50 {latency['p50']:.1f} ms, "
+          f"p95 {latency['p95']:.1f} ms, p99 {latency['p99']:.1f} ms "
+          f"(max {latency['max']:.1f} ms)")
+    print(f"throughput: {document['throughput_rps']:.1f} req/s over "
+          f"{document['wall_seconds']:.2f}s")
+    if config.verify:
+        print(f"verified  : {report.verified} run responses bit-identical "
+              "to local execution")
+    for mismatch in report.mismatches:
+        print(f"MISMATCH  : {mismatch}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[report written to {args.json}]")
+    recorder = recorder_from_env("loadtest")
+    if recorder is None and args.history:
+        recorder = PerfRecorder(HistoryStore(args.history),
+                                source="loadtest")
+    if recorder is not None:
+        record_report(report, recorder, config)
+        print(f"[latency recorded to perf history "
+              f"{recorder.store.path} — see `repro perf report`]")
+    return 0 if report.ok else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or trim the on-disk compile cache."""
+    from .driver import CompileCache, default_cache_dir
+
+    cache_dir = pathlib.Path(args.cache_dir) if args.cache_dir \
+        else default_cache_dir()
+    cache = CompileCache(cache_dir, max_bytes=args.cache_max_bytes)
+
+    if args.cache_command == "stats":
+        entries, used = cache.disk_usage()
+        budget = cache.max_bytes
+        print(f"cache dir : {cache_dir}")
+        print(f"entries   : {entries}")
+        print(f"bytes     : {used}")
+        print(f"budget    : {budget if budget is not None else 'unbounded'}")
+        return 0
+    if args.cache_command == "prune":
+        if cache.max_bytes is None:
+            print("error: no byte budget; pass --cache-max-bytes or set "
+                  "$REPRO_CACHE_MAX_BYTES", file=sys.stderr)
+            return 2
+        evicted = cache.prune()
+        entries, used = cache.disk_usage()
+        print(f"evicted   : {evicted} entries")
+        print(f"remaining : {entries} entries, {used} bytes "
+              f"(budget {cache.max_bytes})")
+        return 0
+    # clear
+    entries, used = cache.disk_usage()
+    cache.clear()
+    print(f"cleared   : {entries} entries, {used} bytes from {cache_dir}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -732,6 +884,98 @@ def main(argv: list[str] | None = None) -> int:
                                   "from the profile artifacts under DIR")
     perf_report.set_defaults(fn=cmd_perf_report)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="compile-as-a-service: async HTTP front door with "
+                      "coalescing and backpressure (docs/SERVING.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8787,
+                              help="listen port (0 = ephemeral)")
+    serve_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="worker threads executing jobs")
+    serve_parser.add_argument("--queue-limit", type=int, default=8,
+                              metavar="N",
+                              help="max admitted jobs before requests "
+                                   "are shed with 429")
+    serve_parser.add_argument("--retry-after", type=float, default=0.5,
+                              metavar="SEC",
+                              help="Retry-After hint on shed requests")
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="on-disk compile cache location "
+                                   "(default: memory-only)")
+    serve_parser.add_argument("--cache-max-bytes", type=int, default=None,
+                              metavar="N",
+                              help="disk cache byte budget (also "
+                                   "$REPRO_CACHE_MAX_BYTES)")
+    serve_parser.add_argument("--fuel", type=int, default=100_000_000,
+                              help="default interpreter step budget")
+    serve_parser.set_defaults(fn=cmd_serve)
+
+    loadtest_parser = subparsers.add_parser(
+        "loadtest", help="drive a repro serve with a seeded workload mix; "
+                         "verify bit-identity and record latency "
+                         "percentiles (docs/SERVING.md)"
+    )
+    loadtest_parser.add_argument("--url", default="http://127.0.0.1:8787",
+                                 help="server base URL")
+    loadtest_parser.add_argument("--spawn", action="store_true",
+                                 help="spawn an in-process server on an "
+                                      "ephemeral port instead of --url")
+    loadtest_parser.add_argument("--requests", type=int, default=50,
+                                 metavar="N")
+    loadtest_parser.add_argument("--concurrency", type=int, default=8,
+                                 metavar="N",
+                                 help="closed-loop client count")
+    loadtest_parser.add_argument("--mode", default="closed",
+                                 choices=["closed", "open"],
+                                 help="closed-loop (clients wait for "
+                                      "answers) or open-loop (fixed "
+                                      "request schedule)")
+    loadtest_parser.add_argument("--rate", type=float, default=50.0,
+                                 metavar="RPS",
+                                 help="open-loop offered request rate")
+    loadtest_parser.add_argument("--ops", nargs="+",
+                                 default=["run", "run", "compile"],
+                                 choices=["run", "compile"],
+                                 help="endpoint mix (repeat to weight)")
+    loadtest_parser.add_argument("--seed", type=int, default=0,
+                                 help="workload-mix RNG seed")
+    loadtest_parser.add_argument("--no-verify", action="store_true",
+                                 help="skip the bit-identity check "
+                                      "against local execution")
+    loadtest_parser.add_argument("--workers", type=int, default=2,
+                                 metavar="N",
+                                 help="worker threads of a --spawn server")
+    loadtest_parser.add_argument("--queue-limit", type=int, default=8,
+                                 metavar="N",
+                                 help="queue limit of a --spawn server")
+    loadtest_parser.add_argument("--json", default=None, metavar="OUT.JSON",
+                                 help="write the full report here")
+    loadtest_parser.add_argument("--history", default=None, metavar="DIR",
+                                 help="record latency percentiles to this "
+                                      "perf history (also $REPRO_PERF_DIR)")
+    _common_args(loadtest_parser)
+    _engine_arg(loadtest_parser)
+    loadtest_parser.set_defaults(fn=cmd_loadtest)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect, trim, or clear the on-disk compile cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    for name, help_text in (
+        ("stats", "show entry count, bytes used, and the byte budget"),
+        ("prune", "evict oldest entries until under the byte budget"),
+        ("clear", "delete every cached entry"),
+    ):
+        sub = cache_sub.add_parser(name, help=help_text)
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default ~/.cache/repro)")
+        sub.add_argument("--cache-max-bytes", type=int, default=None,
+                         metavar="N",
+                         help="byte budget (also $REPRO_CACHE_MAX_BYTES)")
+        sub.set_defaults(fn=cmd_cache)
+
     report_parser = subparsers.add_parser(
         "report", help="run a whole suite; write tables, figures, JSON"
     )
@@ -748,6 +992,22 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0
+    except SourceError as exc:
+        # A diagnosable input problem is a one-line message, never a
+        # traceback: the line/column diagnostic is the whole story.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}",
+              file=sys.stderr)
+        return 2
+    except IsADirectoryError as exc:
+        print(f"error: is a directory: {exc.filename or exc}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

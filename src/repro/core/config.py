@@ -118,6 +118,10 @@ class CompileOptions:
     cache: bool = False
     #: on-disk cache tier location (``None`` = ``~/.cache/repro``)
     cache_dir: str | None = None
+    #: byte budget for the on-disk cache tier; oldest-mtime entries are
+    #: evicted beyond it (``None`` = ``$REPRO_CACHE_MAX_BYTES``, else
+    #: unbounded)
+    cache_max_bytes: int | None = None
     #: seconds before a pool job falls back to in-process compilation
     timeout: float | None = None
     #: clone the input program before compiling (disable only when the
@@ -162,6 +166,8 @@ class CompileOptions:
             jobs=getattr(args, "jobs", defaults.jobs),
             cache=bool(getattr(args, "cache", defaults.cache)),
             cache_dir=getattr(args, "cache_dir", defaults.cache_dir),
+            cache_max_bytes=getattr(args, "cache_max_bytes",
+                                    defaults.cache_max_bytes),
             timeout=getattr(args, "timeout", defaults.timeout),
             engine=getattr(args, "engine", None) or defaults.engine,
             profile_dir=getattr(args, "profile_dir", defaults.profile_dir),

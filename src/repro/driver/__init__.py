@@ -27,6 +27,7 @@ from .cache import (
     CompileCache,
     DEFAULT_MEMORY_ENTRIES,
     default_cache_dir,
+    default_max_bytes,
 )
 from .fingerprint import (
     cache_key,
@@ -43,6 +44,7 @@ __all__ = [
     "DEFAULT_MEMORY_ENTRIES",
     "cache_key",
     "default_cache_dir",
+    "default_max_bytes",
     "fingerprint_config",
     "fingerprint_profiles",
     "fingerprint_program",

@@ -14,7 +14,19 @@ IR verifier before it is handed out, and returned programs are always
 fresh clones, so a caller can mutate (or execute) its copy without
 poisoning the cache.  A disk entry that fails to unpickle, carries a
 mismatched version, or fails verification is deleted and counted as
-corrupt, never returned.
+corrupt, never returned.  A memory entry that fails verification is
+dropped from that tier only — the lookup still falls through to a
+possibly-valid disk copy.
+
+The disk tier accepts an optional byte budget (``max_bytes``, or
+``$REPRO_CACHE_MAX_BYTES`` / ``--cache-max-bytes`` at the CLI); when
+the budget is exceeded the oldest-mtime entries are evicted first,
+counted under ``driver.cache.evictions{tier=disk}``.  ``repro cache
+stats|prune|clear`` exposes the same machinery interactively.
+
+All public entry points are safe to call from multiple threads — the
+``repro serve`` front door mounts one :class:`CompileCache` behind a
+worker pool (docs/SERVING.md).
 
 Hit/miss/store/eviction/corruption counts feed the
 ``driver.cache.*`` counter family of the telemetry metrics registry
@@ -26,6 +38,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -50,6 +63,18 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def default_max_bytes() -> int | None:
+    """``$REPRO_CACHE_MAX_BYTES`` as an int, else ``None`` (no cap)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -80,12 +105,16 @@ class CompileCache:
         cache_dir: str | Path | None = None,
         *,
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        max_bytes: int | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.memory_entries = memory_entries
+        self.max_bytes = max_bytes if max_bytes is not None \
+            else default_max_bytes()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._memory: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.RLock()
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -93,43 +122,49 @@ class CompileCache:
 
     def get(self, key: str) -> CacheEntry | None:
         """The entry under ``key``, or ``None``; always a fresh clone."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            if not self._verify(entry, key, tier="memory"):
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                if self._verify(entry, key, tier="memory"):
+                    self.metrics.counter("driver.cache.hits",
+                                         tier="memory").inc()
+                    return entry.materialize()
+                # A corrupt memory copy must not mask a valid disk entry:
+                # drop it from this tier and fall through to the next.
                 self._memory.pop(key, None)
-                self.metrics.counter("driver.cache.misses").inc()
-                return None
-            self.metrics.counter("driver.cache.hits", tier="memory").inc()
-            return entry.materialize()
 
-        entry = self._load_disk(key)
-        if entry is not None:
-            self.metrics.counter("driver.cache.hits", tier="disk").inc()
-            self._remember(key, entry)
-            return entry.materialize()
+            entry = self._load_disk(key)
+            if entry is not None:
+                self.metrics.counter("driver.cache.hits", tier="disk").inc()
+                self._remember(key, entry)
+                return entry.materialize()
 
-        self.metrics.counter("driver.cache.misses").inc()
-        return None
+            self.metrics.counter("driver.cache.misses").inc()
+            return None
 
     def put(self, key: str, entry: CacheEntry) -> None:
         """Store a compilation outcome under ``key`` in both tiers."""
         detached = entry.materialize()
-        self._remember(key, detached)
-        self.metrics.counter("driver.cache.stores", tier="memory").inc()
-        if self.cache_dir is not None:
-            self._store_disk(key, detached)
+        with self._lock:
+            self._remember(key, detached)
+            self.metrics.counter("driver.cache.stores", tier="memory").inc()
+            if self.cache_dir is not None:
+                self._store_disk(key, detached)
+                self.prune()
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or (
-            self.cache_dir is not None and self._path(key).exists()
-        )
+        with self._lock:
+            return key in self._memory or (
+                self.cache_dir is not None and self._path(key).exists()
+            )
 
     def clear(self) -> None:
-        self._memory.clear()
-        if self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.pkl"):
-                path.unlink(missing_ok=True)
+        with self._lock:
+            self._memory.clear()
+            if self.cache_dir is not None:
+                for path in self.cache_dir.glob("*.pkl"):
+                    path.unlink(missing_ok=True)
 
     # -- inspection ----------------------------------------------------------
 
@@ -145,20 +180,39 @@ class CompileCache:
 
     def stats(self) -> dict[str, int]:
         """Flat counter snapshot, for CLI ``--stats`` output and tests."""
-        out: dict[str, int] = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "memory_entries": len(self._memory),
-        }
-        for family in ("driver.cache.hits", "driver.cache.stores"):
-            out.update(self.metrics.counter_family(family))
-        out["driver.cache.evictions"] = self.metrics.counter_value(
-            "driver.cache.evictions"
-        )
-        out["driver.cache.corrupt"] = self.metrics.counter_value(
-            "driver.cache.corrupt"
-        )
-        return out
+        with self._lock:
+            out: dict[str, int] = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "memory_entries": len(self._memory),
+            }
+            for family in ("driver.cache.hits", "driver.cache.stores"):
+                out.update(self.metrics.counter_family(family))
+            evictions = self.metrics.counter_family("driver.cache.evictions")
+            out.update(evictions)
+            out["driver.cache.evictions"] = sum(evictions.values())
+            out["driver.cache.corrupt"] = self.metrics.counter_value(
+                "driver.cache.corrupt"
+            )
+            if self.cache_dir is not None:
+                files, size = self.disk_usage()
+                out["disk_entries"] = files
+                out["disk_bytes"] = size
+            return out
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(entry_count, total_bytes)`` of the on-disk tier."""
+        if self.cache_dir is None:
+            return (0, 0)
+        files = 0
+        total = 0
+        for path in self.cache_dir.glob("*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # deleted by a concurrent prune/clear
+            files += 1
+        return (files, total)
 
     # -- memory tier ---------------------------------------------------------
 
@@ -167,7 +221,8 @@ class CompileCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
-            self.metrics.counter("driver.cache.evictions").inc()
+            self.metrics.counter("driver.cache.evictions",
+                                 tier="memory").inc()
 
     # -- disk tier -----------------------------------------------------------
 
@@ -222,6 +277,34 @@ class CompileCache:
                 pass
             raise
         self.metrics.counter("driver.cache.stores", tier="disk").inc()
+
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Evict oldest-mtime disk entries until the tier fits the byte
+        budget (``max_bytes`` argument, else the instance cap); returns
+        the number of files evicted.  No-op without a cap or disk tier.
+        """
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        if self.cache_dir is None or budget is None or budget <= 0:
+            return 0
+        with self._lock:
+            files: list[tuple[float, int, Path]] = []
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                files.append((stat.st_mtime, stat.st_size, path))
+            total = sum(size for _, size, _ in files)
+            evicted = 0
+            for _, size, path in sorted(files, key=lambda f: (f[0], f[2])):
+                if total <= budget:
+                    break
+                path.unlink(missing_ok=True)
+                total -= size
+                evicted += 1
+                self.metrics.counter("driver.cache.evictions",
+                                     tier="disk").inc()
+            return evicted
 
     def _discard_corrupt(self, path: Path) -> None:
         self.metrics.counter("driver.cache.corrupt").inc()

@@ -45,6 +45,7 @@ from __future__ import annotations
 import hashlib
 import operator
 import struct
+import threading
 from collections import Counter, OrderedDict
 
 from ..ir.function import Function
@@ -850,6 +851,9 @@ class TranslationCache:
         self.capacity = capacity
         self._entries: OrderedDict[tuple, TranslatedFunction | None] = \
             OrderedDict()
+        # The default cache is shared process-wide; `repro serve` runs
+        # executions on a thread pool, so lookups/inserts must not race.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -865,11 +869,15 @@ class TranslationCache:
                          check_dummies: bool = True
                          ) -> TranslatedFunction | None:
         key = self._key(func, ideal, traits, check_dummies)
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+        # Translation itself runs outside the lock: two threads may
+        # translate the same function concurrently (last insert wins),
+        # but neither ever observes a half-built entry.
         try:
             translated = translate_function(
                 func, ideal=ideal, traits=traits,
@@ -877,15 +885,17 @@ class TranslationCache:
             )
         except Untranslatable:
             translated = None
-        self._entries[key] = translated
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = translated
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
         return translated
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
         return {

@@ -443,6 +443,55 @@ def _speedup_section(history: _History) -> str:
                    table)
 
 
+def _serving_sections(history: _History) -> list[str]:
+    """One latency-percentile figure per loadtest cell (closed/open).
+
+    Serving records (``engine == "serve"``) carry the latency
+    distribution of one ``repro loadtest`` campaign in their measures;
+    the chart tracks p50/p95/p99 across campaigns, the table adds
+    throughput and the shed/coalesced disposition counts.
+    """
+    quantiles = (("p50", "p50_ms"), ("p95", "p95_ms"), ("p99", "p99_ms"))
+    sections = []
+    for workload in history.workloads():
+        series = []
+        for slot, (label, measure) in enumerate(quantiles, start=1):
+            points = []
+            for x, run_id in enumerate(history.run_ids):
+                values = [
+                    c.measures[measure]
+                    for c in history.cell(run_id, workload=workload)
+                    if measure in c.measures
+                ]
+                if values:
+                    points.append((x, min(values)))
+            if points:
+                series.append((label, slot, points))
+        rows = []
+        for x, run_id in enumerate(history.run_ids):
+            for cell in history.cell(run_id, workload=workload):
+                measures = cell.measures
+                rows.append((
+                    history.run_labels[x],
+                    f"{measures.get('p50_ms', 0):.1f}",
+                    f"{measures.get('p95_ms', 0):.1f}",
+                    f"{measures.get('p99_ms', 0):.1f}",
+                    f"{measures.get('throughput_rps', 0):.1f}",
+                    int(measures.get("shed", 0)),
+                    int(measures.get("coalesced", 0)),
+                ))
+        chart = _line_chart(series, history.run_labels,
+                            y_fmt=lambda v: f"{v:.0f}ms")
+        legend = _legend([(name, slot) for name, slot, _ in series])
+        table = _data_table(
+            ("run", "p50 ms", "p95 ms", "p99 ms", "req/s", "shed",
+             "coalesced"), rows)
+        sections.append(_figure(
+            f"{workload}: served request latency percentiles "
+            f"(repro loadtest)", chart, legend, table))
+    return sections
+
+
 # -- entry points -------------------------------------------------------------
 
 def render_html(records: list[RunRecord],
@@ -454,12 +503,18 @@ def render_html(records: list[RunRecord],
     :class:`~repro.profile.ExecutionProfile` artifact (the
     ``repro perf report --profiles DIR`` view).
     """
-    history = _History(records)
-    sections = [_tiles(history), _cache_section(history),
+    # Serving-latency rows measure the front door, not the compiler;
+    # they get their own section instead of polluting the trend charts.
+    serving = [r for r in records if r.engine == "serve"]
+    history = _History([r for r in records if r.engine != "serve"])
+    sections = [_tiles(_History(records)), _cache_section(history),
                 _speedup_section(history)]
     for workload in history.workloads():
         sections.append(_extends_section(history, workload))
         sections.append(_phase_section(history, workload))
+    if serving:
+        sections.append("<h2>serving latency (repro serve)</h2>")
+        sections.extend(_serving_sections(_History(serving)))
     extra_css = ""
     if profiles:
         from ..profile.heatmap import HEAT_CSS, heatmap_section

@@ -1,0 +1,50 @@
+"""Compile-as-a-service: the async front door and its load-test client.
+
+``repro serve`` mounts the repo's compile cache and batch driver behind
+a stdlib-only asyncio HTTP/1.1 JSON server with bounded admission,
+``429 Retry-After`` load shedding, and request coalescing keyed on the
+compile cache's content fingerprints; ``repro loadtest`` drives it with
+seeded open- or closed-loop workload mixes and verifies every served
+run bit-identical to a local ``repro.api.run``.  docs/SERVING.md is the
+protocol reference.
+"""
+
+from .loadtest import (
+    BUILTIN_SOURCES,
+    Loadtest,
+    LoadtestConfig,
+    LoadtestReport,
+    record_report,
+)
+from .protocol import (
+    ProtocolError,
+    ServeRequest,
+    VOLATILE_KEYS,
+    bench_response,
+    compile_response,
+    parse_request,
+    profile_response,
+    run_response,
+    strip_volatile,
+)
+from .server import ReproServer, ServerConfig, ServerThread
+
+__all__ = [
+    "BUILTIN_SOURCES",
+    "Loadtest",
+    "LoadtestConfig",
+    "LoadtestReport",
+    "ProtocolError",
+    "ReproServer",
+    "ServeRequest",
+    "ServerConfig",
+    "ServerThread",
+    "VOLATILE_KEYS",
+    "bench_response",
+    "compile_response",
+    "parse_request",
+    "profile_response",
+    "record_report",
+    "run_response",
+    "strip_volatile",
+]

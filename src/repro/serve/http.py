@@ -1,0 +1,163 @@
+"""A minimal, dependency-free asyncio HTTP/1.1 layer.
+
+Just enough HTTP for the compile service: request-line + header
+parsing, ``Content-Length`` bodies, keep-alive, and byte-exact response
+rendering.  No chunked transfer, no TLS, no multipart — the protocol
+(docs/SERVING.md) is JSON-over-POST and fixed GET endpoints, so none of
+that is needed, and every line of parsing code here is code the server
+actually exercises.
+
+Limits are enforced while *reading*, so an oversized or malformed
+request can be rejected with the right status before the server buffers
+unbounded data:
+
+* request line and each header line are bounded by the stream reader's
+  64 KiB line limit;
+* at most :data:`MAX_HEADER_COUNT` headers;
+* bodies larger than the server's ``max_body_bytes`` raise
+  :class:`HttpError` 413 without reading the body.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+MAX_HEADER_COUNT = 64
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with an HTTP error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(f"{status}: {message}")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body as JSON; :class:`HttpError` 400 when it is not."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def read_request(reader, *, max_body_bytes: int) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(400, "request line too long")
+    if not line:
+        return None  # client closed between requests
+    try:
+        text = line.decode("latin-1").rstrip("\r\n")
+        method, target, version = text.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        if len(headers) > MAX_HEADER_COUNT:
+            raise HttpError(400, "too many headers")
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, value = line.decode("latin-1").split(":", 1)
+        except ValueError:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body_bytes:
+        raise HttpError(413, f"body of {length} bytes exceeds the "
+                             f"{max_body_bytes}-byte limit")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except Exception:
+            raise HttpError(400, "body shorter than Content-Length")
+    return Request(method=method.upper(), target=target, headers=headers,
+                   body=body)
+
+
+@dataclass
+class Response:
+    """One response, rendered with :meth:`to_bytes`."""
+
+    status: int = 200
+    payload: Any = None  # JSON-serialized when body is not given
+    body: bytes | None = None
+    content_type: str = "application/json"
+    headers: list[tuple[str, str]] = field(default_factory=list)
+    keep_alive: bool = True
+
+    def to_bytes(self) -> bytes:
+        if self.body is not None:
+            body = self.body
+        else:
+            body = (json.dumps(self.payload, sort_keys=True)
+                    + "\n").encode("utf-8")
+        phrase = STATUS_PHRASES.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {phrase}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if self.keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + body
+
+
+def error_response(status: int, message: str, *,
+                   keep_alive: bool = True,
+                   headers: list[tuple[str, str]] | None = None) -> Response:
+    return Response(
+        status=status,
+        payload={"error": message, "status": status},
+        headers=headers or [],
+        keep_alive=keep_alive,
+    )

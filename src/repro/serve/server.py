@@ -1,0 +1,386 @@
+"""The ``repro serve`` front door: compile-as-a-service over asyncio.
+
+One long-lived process mounts the expensive state — a
+:class:`~repro.driver.CompileCache`, a :class:`~repro.driver.BatchCompiler`,
+and a :class:`~repro.telemetry.Telemetry` bundle — and serves the
+``repro.api`` verbs over HTTP/1.1 JSON (docs/SERVING.md has the full
+protocol).  Three serving policies keep a burst of clients from
+degenerating into a pile-up:
+
+* **bounded admission** — at most ``queue_limit`` jobs are admitted at
+  once; anything beyond that is shed immediately with ``429`` and a
+  ``Retry-After`` hint, so the queue cannot grow without bound;
+* **request coalescing** — identical in-flight work (same compile
+  fingerprint, endpoint, engine, and fuel) is computed once; followers
+  await the leader's future and are answered from the same result with
+  ``"coalesced": true``;
+* **worker offload** — compilation and execution are CPU-bound pure
+  Python, so they run on a thread pool sized by ``workers`` while the
+  event loop stays responsive for admission, shedding, and health
+  probes.
+
+Everything observable is counted under the ``serve.*`` metric names
+(docs/TELEMETRY.md) and exposed on ``/metricsz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from .. import __version__, api
+from ..core.config import CompileOptions, VARIANTS
+from ..driver import BatchCompiler, CompileCache, cache_key
+from ..harness import SoundnessError
+from ..telemetry import Telemetry
+from .http import (
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    read_request,
+)
+from .protocol import (
+    ProtocolError,
+    ServeRequest,
+    bench_response,
+    compile_response,
+    load_program,
+    parse_request,
+    profile_response,
+    run_response,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunable state of one :class:`ReproServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787  # 0 binds an ephemeral port (tests)
+    #: worker threads executing compile/run jobs off the event loop
+    workers: int = 2
+    #: max jobs admitted at once (queued + running); beyond this, shed
+    queue_limit: int = 8
+    #: seconds suggested to shed clients via the Retry-After header
+    retry_after: float = 0.5
+    cache_dir: str | None = None  # None = memory-only cache
+    cache_max_bytes: int | None = None
+    #: default interpreter fuel when a request does not set one
+    fuel: int = 100_000_000
+    max_body_bytes: int = 4 * 1024 * 1024
+
+
+class ReproServer:
+    """The asyncio server; create, ``await start()``, ``await aclose()``."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.telemetry = Telemetry(label="serve")
+        self.metrics = self.telemetry.metrics
+        self.cache = CompileCache(
+            self.config.cache_dir,
+            max_bytes=self.config.cache_max_bytes,
+            metrics=self.metrics,
+        )
+        # jobs=1: the service parallelises across requests via the
+        # thread pool; a process pool per request would fight it.
+        self.driver = BatchCompiler(jobs=1, cache=self.cache,
+                                    metrics=self.metrics,
+                                    telemetry=self.telemetry)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        #: coalescing table: job key -> Future[("ok", dict) | ("error", exc)]
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._pending = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.port = self.config.port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        self.driver.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes)
+                except HttpError as exc:
+                    # The stream may be desynchronized: answer and close.
+                    writer.write(error_response(
+                        exc.status, exc.message, keep_alive=False).to_bytes())
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                response.keep_alive = (response.keep_alive
+                                       and request.keep_alive)
+                writer.write(response.to_bytes())
+                await writer.drain()
+                if not response.keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        endpoint, response = await self._route(request)
+        elapsed_ms = (loop.time() - started) * 1000
+        self.metrics.counter("serve.requests", endpoint=endpoint).inc()
+        self.metrics.counter("serve.responses",
+                             status=response.status).inc()
+        self.metrics.histogram("serve.latency_ms",
+                               endpoint=endpoint).observe(elapsed_ms)
+        return response
+
+    async def _route(self, request: Request) -> tuple[str, Response]:
+        """Resolve one request to ``(endpoint label, response)``."""
+        target = request.target.split("?", 1)[0]
+        if target == "/healthz":
+            if request.method != "GET":
+                return "healthz", error_response(405, "healthz is GET-only")
+            return "healthz", Response(payload=self._health())
+        if target == "/metricsz":
+            if request.method != "GET":
+                return "metricsz", error_response(405, "metricsz is GET-only")
+            return "metricsz", Response(payload=self._metricsz())
+        if target.startswith("/v1/"):
+            endpoint = target[len("/v1/"):]
+            if request.method != "POST":
+                return endpoint, error_response(
+                    405, f"/v1/{endpoint} is POST-only")
+            return endpoint, await self._serve_job(endpoint, request)
+        return "unknown", error_response(404, f"no such endpoint {target!r}")
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "pending": self._pending,
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+        }
+
+    def _metricsz(self) -> dict[str, Any]:
+        document = self.metrics.as_dict()
+        document["cache"] = {
+            k: v for k, v in self.cache.stats().items()
+            if isinstance(v, (int, float))
+        }
+        return document
+
+    # -- the job pipeline ----------------------------------------------------
+
+    async def _serve_job(self, endpoint: str, request: Request) -> Response:
+        """Admission -> parse -> coalesce -> execute, with error mapping."""
+        if self._pending >= self.config.queue_limit:
+            self.metrics.counter("serve.shed").inc()
+            return error_response(
+                429,
+                f"{self._pending} jobs already admitted "
+                f"(queue_limit={self.config.queue_limit}); retry shortly",
+                headers=[("Retry-After",
+                          format(self.config.retry_after, "g"))],
+            )
+        self._pending += 1
+        self.metrics.gauge("serve.queue_depth").set(self._pending)
+        try:
+            payload = request.json()
+            job = parse_request(endpoint, payload,
+                                default_fuel=self.config.fuel)
+            result = await self._coalesced(job)
+            return Response(payload=result)
+        except HttpError as exc:
+            return error_response(exc.status, exc.message)
+        except ProtocolError as exc:
+            return error_response(exc.status, str(exc))
+        except SoundnessError as exc:
+            self.metrics.counter("serve.errors", kind="soundness").inc()
+            return error_response(500, f"soundness check failed: {exc}")
+        except Exception as exc:  # noqa: BLE001 — a job must never kill the loop
+            self.metrics.counter("serve.errors", kind="internal").inc()
+            return error_response(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._pending -= 1
+            self.metrics.gauge("serve.queue_depth").set(self._pending)
+
+    async def _coalesced(self, job: ServeRequest) -> dict[str, Any]:
+        """Run one job, sharing the result with identical in-flight jobs."""
+        loop = asyncio.get_running_loop()
+        # The prepare stage (parse + fingerprint) is itself CPU work.
+        key, work = await loop.run_in_executor(
+            self._executor, self._prepare, job)
+
+        leader_future = self._inflight.get(key)
+        if leader_future is not None:
+            self.metrics.counter("serve.coalesced",
+                                 endpoint=job.endpoint).inc()
+            # shield(): a follower disconnecting must not cancel the
+            # leader's computation out from under the other waiters.
+            status, value = await asyncio.shield(leader_future)
+            if status == "error":
+                raise value
+            return dict(value, coalesced=True)
+
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await loop.run_in_executor(self._executor, work)
+        except Exception as exc:
+            future.set_result(("error", exc))
+            raise
+        else:
+            future.set_result(("ok", result))
+            return dict(result, coalesced=False)
+        finally:
+            del self._inflight[key]
+
+    def _prepare(self, job: ServeRequest) -> tuple[tuple, Callable]:
+        """Resolve a job to its coalescing key and a thunk of the work.
+
+        Runs on a worker thread.  The key reuses the compile cache's
+        content fingerprint, so two textually different requests that
+        parse to the same IR under the same config coalesce too.
+        """
+        options = CompileOptions(
+            variant=job.variant,
+            machine=job.machine,
+            engine=job.engine,
+            fuel=job.fuel,
+            cache=False,  # the server's driver already owns the cache
+        )
+        if job.endpoint == "bench":
+            names = job.variants or ("baseline", "new algorithm (all)")
+            variants = {name: VARIANTS[name] for name in names}
+            key = ("bench", job.workload, names, job.machine, job.engine,
+                   job.fuel)
+            return key, lambda: bench_response(
+                api.bench([job.workload], variants, options,
+                          driver=self.driver),
+                job.workload,
+            )
+
+        program = load_program(job)
+        config = options.config()
+        fingerprint = cache_key(program, config, None)
+        key = (job.endpoint, fingerprint, job.engine, job.fuel)
+
+        if job.endpoint == "compile":
+            cached = fingerprint in self.cache
+            return key, lambda: compile_response(
+                api.compile(program, options, driver=self.driver),
+                cache_key=fingerprint,
+                cached=cached,
+            )
+        if job.endpoint == "run":
+            return key, lambda: run_response(
+                api.run(program, options, driver=self.driver))
+        # profile — api.profile compiles inline (no driver hook yet)
+        return key, lambda: profile_response(
+            api.profile(program, options, workload=job.workload or ""))
+
+
+class ServerThread:
+    """A server on a private event loop in a daemon thread.
+
+    The harness the load-test client's ``--spawn`` flag and the test
+    suite share: start, read ``base_url``, stop.  The constructor does
+    not bind; :meth:`start` does, and re-raises any bind error in the
+    caller's thread.
+    """
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig(port=0)
+        self.server: ReproServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None, "call start() first"
+        return f"http://{self.config.host}:{self.server.port}"
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(), self._loop)
+        future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self.server = ReproServer(self.config)
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self.server is not None:
+            await self.server.aclose()

@@ -14,6 +14,7 @@ format.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable
 
 _LabelKey = tuple[tuple[str, str], ...]
@@ -134,6 +135,10 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, _LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        # Accessor creation must not race when a registry is shared by
+        # the `repro serve` worker pool: without the lock two threads
+        # could each create an instrument and one side's counts vanish.
+        self._create_lock = threading.Lock()
 
     # -- instrument accessors ------------------------------------------------
 
@@ -141,22 +146,38 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            with self._create_lock:
+                instrument = self._counters.setdefault(key, Counter())
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            with self._create_lock:
+                instrument = self._gauges.setdefault(key, Gauge())
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram()
+            with self._create_lock:
+                instrument = self._histograms.setdefault(key, Histogram())
         return instrument
+
+    # -- pickling ------------------------------------------------------------
+    # Worker-side registries travel back over the process-pool pipe;
+    # locks do not pickle, so drop the lock and rebuild it on load.
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_create_lock", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._create_lock = threading.Lock()
 
     # -- queries ------------------------------------------------------------
 

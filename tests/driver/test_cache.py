@@ -137,3 +137,99 @@ class TestDiskTier:
         stats = cache.stats()
         assert stats["driver.cache.stores{tier=memory}"] == 1
         assert "driver.cache.stores{tier=disk}" not in stats
+
+
+class TestMemoryCorruptionFallthrough:
+    """A corrupt memory entry must not mask a valid disk entry."""
+
+    def test_falls_through_to_valid_disk_entry(self, tmp_path, program,
+                                               entry):
+        key = cache_key(program, FULL, None)
+        cache = CompileCache(tmp_path)
+        cache.put(key, entry)
+        # Corrupt the *memory* copy in place (bypassing materialize):
+        # a function with no blocks fails the IR verifier.
+        for func in cache._memory[key].program.functions.values():
+            func.blocks.clear()
+
+        hit = cache.get(key)
+        assert hit is not None, "memory corruption masked the disk entry"
+        assert format_program(hit.program) == format_program(entry.program)
+        stats = cache.stats()
+        assert stats["driver.cache.hits{tier=disk}"] == 1
+        assert stats["driver.cache.corrupt"] == 1
+        assert stats["misses"] == 0
+        # The disk hit was re-promoted to memory; next get is a memory hit.
+        cache.get(key)
+        assert cache.stats()["driver.cache.hits{tier=memory}"] == 1
+
+    def test_memory_only_corruption_is_a_miss(self, program, entry):
+        key = cache_key(program, FULL, None)
+        cache = CompileCache()  # no disk tier to fall through to
+        cache.put(key, entry)
+        for func in cache._memory[key].program.functions.values():
+            func.blocks.clear()
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["driver.cache.corrupt"] == 1
+
+
+class TestDiskByteBudget:
+    def _entry_bytes(self, tmp_path, program, entry):
+        key = cache_key(program, FULL, None)
+        probe = CompileCache(tmp_path / "probe")
+        probe.put(key, entry)
+        (path,) = (tmp_path / "probe").glob("*.pkl")
+        return path.stat().st_size
+
+    def test_oldest_mtime_evicted_first(self, tmp_path, program, entry):
+        import os
+
+        size = self._entry_bytes(tmp_path, program, entry)
+        cache = CompileCache(tmp_path)  # no cap: prune on demand below
+        for index, name in enumerate(("k-old", "k-mid", "k-new")):
+            cache.put(name, entry)
+            # mtime resolution can be coarse; force a strict ordering.
+            when = 1_000_000 + index * 10
+            os.utime(cache._path(name), (when, when))
+        evicted = cache.prune(max_bytes=int(size * 2.5))
+        assert evicted == 1
+        assert not cache._path("k-old").exists()
+        assert cache._path("k-mid").exists()
+        assert cache._path("k-new").exists()
+        stats = cache.stats()
+        assert stats["driver.cache.evictions{tier=disk}"] == 1
+        assert stats["driver.cache.evictions"] == 1
+
+    def test_put_applies_the_budget(self, tmp_path, program, entry):
+        size = self._entry_bytes(tmp_path, program, entry)
+        cache = CompileCache(tmp_path, max_bytes=int(size * 1.5))
+        cache.put("first", entry)
+        cache.put("second", entry)  # exceeds the budget; first is evicted
+        files = sorted(p.name for p in tmp_path.glob("*.pkl"))
+        assert files == ["second.pkl"]
+        assert cache.stats()["driver.cache.evictions{tier=disk}"] == 1
+
+    def test_no_budget_means_unbounded(self, tmp_path, program, entry):
+        cache = CompileCache(tmp_path)
+        for name in ("a", "b", "c"):
+            cache.put(name, entry)
+        assert cache.prune() == 0
+        assert len(list(tmp_path.glob("*.pkl"))) == 3
+
+    def test_env_budget(self, tmp_path, program, entry, monkeypatch):
+        size = self._entry_bytes(tmp_path, program, entry)
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", str(int(size * 1.5)))
+        cache = CompileCache(tmp_path)
+        assert cache.max_bytes == int(size * 1.5)
+        cache.put("first", entry)
+        cache.put("second", entry)
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+    def test_disk_usage_reported_in_stats(self, tmp_path, program, entry):
+        cache = CompileCache(tmp_path)
+        cache.put("only", entry)
+        stats = cache.stats()
+        assert stats["disk_entries"] == 1
+        assert stats["disk_bytes"] > 0

@@ -76,3 +76,49 @@ class TestTerminalSummary:
     def test_summary_empty_history(self):
         text = format_history_summary([])
         assert "empty" in text.lower()
+
+
+class TestServingSection:
+    """Serving-latency records get their own dashboard section."""
+
+    def _with_serving(self, make_record, runs=3):
+        records = _history(make_record, runs=runs)
+        for run in range(runs):
+            records.append(make_record(
+                workload="loadtest-closed", variant="new algorithm (all)",
+                engine="serve", source="loadtest", run_id=f"run-{run}",
+                git_rev=f"abc{run:04d}beef",
+                phases={},
+                measures={"p50_ms": 10.0 - run, "p95_ms": 25.0 - run,
+                          "p99_ms": 40.0 - run, "mean_ms": 12.0,
+                          "max_ms": 44.0, "throughput_rps": 120.0 + run,
+                          "offered": 50.0, "completed": 48.0,
+                          "shed": 2.0, "coalesced": 5.0, "errors": 0.0},
+            ))
+        return records
+
+    def test_serving_records_render_their_own_section(self, make_record):
+        html = render_html(self._with_serving(make_record), title="perf")
+        assert "serving latency (repro serve)" in html
+        assert "loadtest-closed" in html
+        assert "latency percentiles" in html
+        assert "coalesced" in html
+
+    def test_serving_records_stay_out_of_compiler_charts(self,
+                                                         make_record):
+        html = render_html(self._with_serving(make_record), title="perf")
+        # No extends/phase figure may be captioned with the loadtest
+        # pseudo-workload: it has no compiler measures.
+        assert "loadtest-closed: dynamic" not in html
+        assert "loadtest-closed: phase" not in html
+
+    def test_without_serving_records_no_section(self, make_record):
+        html = render_html(_history(make_record), title="perf")
+        assert "serving latency" not in html
+
+    def test_serving_only_history_renders(self, make_record):
+        records = [r for r in self._with_serving(make_record)
+                   if r.engine == "serve"]
+        html = render_html(records, title="serve only")
+        assert "serving latency" in html
+        assert "<svg" in html

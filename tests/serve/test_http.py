@@ -1,0 +1,128 @@
+"""The minimal HTTP/1.1 layer: parsing, limits, rendering."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    Response,
+    error_response,
+    read_request,
+)
+
+
+def parse(raw: bytes, max_body_bytes: int = 1 << 20):
+    """Feed ``raw`` to read_request on a throwaway event loop."""
+
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes=max_body_bytes)
+
+    return asyncio.run(_go())
+
+
+class TestReadRequest:
+    def test_post_with_body(self):
+        body = b'{"x": 1}'
+        raw = (b"POST /v1/run HTTP/1.1\r\n"
+               b"Content-Type: application/json\r\n"
+               + f"Content-Length: {len(body)}\r\n\r\n".encode()
+               + body)
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.target == "/v1/run"
+        assert request.json() == {"x": 1}
+
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    def test_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/9.9\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413_before_reading(self):
+        raw = (b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"
+               + b"x" * 1000)
+        with pytest.raises(HttpError) as err:
+            parse(raw, max_body_bytes=10)
+        assert err.value.status == 413
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 400
+
+    def test_too_many_headers(self):
+        headers = b"".join(f"H{i}: v\r\n".encode() for i in range(100))
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert err.value.status == 400
+
+    def test_header_names_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing: Value\r\n\r\n")
+        assert request.headers["x-thing"] == "Value"
+
+
+class TestRequestJson:
+    def test_empty_body_rejected(self):
+        with pytest.raises(HttpError) as err:
+            Request("POST", "/", {}, b"").json()
+        assert err.value.status == 400
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(HttpError) as err:
+            Request("POST", "/", {}, b"{nope").json()
+        assert err.value.status == 400
+
+
+class TestResponse:
+    def test_round_trips_through_parser(self):
+        raw = Response(payload={"b": 2, "a": 1}).to_bytes()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert json.loads(body) == {"a": 1, "b": 2}
+
+    def test_payload_is_deterministic(self):
+        a = Response(payload={"b": 2, "a": 1}).to_bytes()
+        b = Response(payload={"a": 1, "b": 2}).to_bytes()
+        assert a == b
+
+    def test_extra_headers_rendered(self):
+        raw = error_response(429, "slow down",
+                             headers=[("Retry-After", "0.5")]).to_bytes()
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"Retry-After: 0.5" in raw
+
+    def test_error_payload_carries_status(self):
+        raw = error_response(404, "gone").to_bytes()
+        body = raw.partition(b"\r\n\r\n")[2]
+        assert json.loads(body) == {"error": "gone", "status": 404}

@@ -1,0 +1,139 @@
+"""The load-test client: planning, verification, perf recording."""
+
+import pytest
+
+from repro.perf import HistoryStore, PerfRecorder
+from repro.serve import (
+    Loadtest,
+    LoadtestConfig,
+    LoadtestReport,
+    ServerConfig,
+    ServerThread,
+    record_report,
+)
+
+FUEL = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, workers=2,
+                                   queue_limit=16)) as thread:
+        yield thread
+
+
+class TestPlanning:
+    def test_plan_is_seeded(self):
+        config = LoadtestConfig(requests=10, seed=42)
+        assert Loadtest(config).plan() == Loadtest(config).plan()
+
+    def test_different_seeds_differ(self):
+        a = Loadtest(LoadtestConfig(requests=20, seed=1)).plan()
+        b = Loadtest(LoadtestConfig(requests=20, seed=2)).plan()
+        assert a != b
+
+    def test_plan_respects_the_mix(self):
+        config = LoadtestConfig(requests=30, ops=("compile",),
+                                kernels=("sum8",))
+        plan = Loadtest(config).plan()
+        assert {op for op, _ in plan} == {"compile"}
+        assert all(payload["source"] for _, payload in plan)
+
+
+class TestClosedLoop:
+    def test_campaign_verifies_bit_identity(self, server):
+        config = LoadtestConfig(url=server.base_url, requests=16,
+                                concurrency=4, fuel=FUEL, seed=3)
+        report = Loadtest(config).run()
+        assert report.ok, report.mismatches
+        assert report.completed == 16
+        assert report.verified > 0
+        assert report.latencies_ms
+        assert report.wall_seconds > 0
+
+    def test_identical_burst_coalesces(self):
+        # One kernel, runs only: concurrent clients all ask for the
+        # same computation, so the server must coalesce some of them.
+        config = ServerConfig(port=0, workers=2, queue_limit=32)
+        with ServerThread(config) as thread:
+            campaign = LoadtestConfig(
+                url=thread.base_url, requests=12, concurrency=6,
+                ops=("run",), kernels=("sum8",), fuel=FUEL, seed=0)
+            report = Loadtest(campaign).run()
+            assert report.ok, report.mismatches
+            assert report.coalesced > 0
+
+
+class TestOpenLoop:
+    def test_open_loop_sheds_under_saturation(self, monkeypatch):
+        # Saturation must not depend on host speed: inject kernels
+        # whose execution (never cached) far outlasts the 2.5ms
+        # inter-arrival gap, so a 1-worker queue_limit=2 server is
+        # structurally overwhelmed by the 400 req/s schedule.
+        from repro.serve import loadtest as loadtest_module
+
+        slow = ("void main() {{ int t = {}; "
+                "for (int i = 0; i < 25000; i++) {{ t += i; }} "
+                "sink(t); }}")
+        for n in range(3):
+            monkeypatch.setitem(loadtest_module.BUILTIN_SOURCES,
+                                f"slow{n}", slow.format(n))
+        config = ServerConfig(port=0, workers=1, queue_limit=2)
+        with ServerThread(config) as thread:
+            campaign = LoadtestConfig(
+                url=thread.base_url, requests=20, mode="open",
+                rate=400.0, ops=("run",),
+                kernels=("slow0", "slow1", "slow2"),
+                fuel=FUEL, seed=5, verify=False)
+            report = Loadtest(campaign).run()
+            # Offered far beyond capacity: some requests must be shed,
+            # and shedding is not an error.
+            assert report.shed > 0
+            assert report.errors == 0
+            assert report.completed + report.shed == 20
+
+
+class TestReport:
+    def test_percentiles_are_exact(self):
+        report = LoadtestReport(mode="closed", offered=4)
+        report.latencies_ms = [1.0, 2.0, 3.0, 4.0]
+        assert report.percentile(0.50) == 2.0
+        assert report.percentile(1.00) == 4.0
+        assert report.percentile(0.01) == 1.0
+
+    def test_empty_report(self):
+        report = LoadtestReport(mode="closed", offered=0)
+        assert report.percentile(0.99) == 0.0
+        document = report.to_dict()
+        assert document["latency_ms"]["p50"] == 0.0
+        assert document["throughput_rps"] == 0.0
+
+    def test_to_dict_shape(self):
+        report = LoadtestReport(mode="open", offered=2, completed=2,
+                                wall_seconds=1.0)
+        report.latencies_ms = [5.0, 15.0]
+        report.by_status = {200: 2}
+        document = report.to_dict()
+        assert document["throughput_rps"] == 2.0
+        assert document["by_status"] == {"200": 2}
+        assert document["latency_ms"]["max"] == 15.0
+
+
+class TestPerfRecording:
+    def test_report_lands_in_history(self, tmp_path):
+        report = LoadtestReport(mode="closed", offered=10, completed=9,
+                                shed=1, coalesced=2, wall_seconds=2.0)
+        report.latencies_ms = [float(i) for i in range(1, 10)]
+        report.by_status = {200: 9, 429: 1}
+        recorder = PerfRecorder(HistoryStore(tmp_path), source="loadtest")
+        record_report(report, recorder, LoadtestConfig())
+
+        records = HistoryStore(tmp_path).records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.engine == "serve"
+        assert record.source == "loadtest"
+        assert record.workload == "loadtest-closed"
+        assert record.measures["p50_ms"] == 5.0
+        assert record.measures["shed"] == 1.0
+        assert record.counters["loadtest.status.200"] == 9

@@ -1,0 +1,264 @@
+"""The serve front door: routing, bit-identity, coalescing, shedding."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import api
+from repro.core.config import CompileOptions
+from repro.serve import ServerConfig, ServerThread
+from repro.serve.protocol import run_response, strip_volatile
+
+FAST = "void main() { int x = 7; sink(x); }"
+
+#: slow enough (~0.15s) that a second request reliably arrives while
+#: the first is still computing — coalescing/backpressure need overlap
+SLOW = """
+void main() {
+    int t = 0;
+    for (int i = 0; i < 25000; i++) { t += i; }
+    sink(t);
+}
+"""
+
+FUEL = 10_000_000
+
+
+async def http(base_url, method, path, payload=None, timeout=60.0):
+    """One request; returns (status, headers dict, parsed JSON body)."""
+    host, port = base_url.split("://", 1)[1].split(":")
+    reader, writer = await asyncio.open_connection(host, int(port))
+    try:
+        body = (json.dumps(payload).encode() if payload is not None
+                else b"")
+        writer.write((
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode() + body)
+        await writer.drain()
+
+        async def _read():
+            status = int((await reader.readline()).split()[1])
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            raw = await reader.readexactly(length) if length else b"{}"
+            return status, headers, json.loads(raw)
+
+        return await asyncio.wait_for(_read(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, workers=2,
+                                   queue_limit=4)) as thread:
+        yield thread
+
+
+def request(server, method, path, payload=None, timeout=60.0):
+    return asyncio.run(http(server.base_url, method, path, payload,
+                            timeout))
+
+
+class TestRouting:
+    def test_healthz(self, server):
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["queue_limit"] == 4
+
+    def test_metricsz_shape(self, server):
+        status, _, body = request(server, "GET", "/metricsz")
+        assert status == 200
+        assert set(body) >= {"counters", "gauges", "histograms", "cache"}
+
+    def test_unknown_path_is_404(self, server):
+        status, _, _ = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _, _ = request(server, "GET", "/v1/run")
+        assert status == 405
+        status, _, _ = request(server, "POST", "/healthz", {})
+        assert status == 405
+
+    def test_unknown_v1_endpoint_is_404(self, server):
+        status, _, body = request(server, "POST", "/v1/transpile",
+                                  {"source": FAST})
+        assert status == 404
+        assert "transpile" in body["error"]
+
+    def test_malformed_json_is_400(self, server):
+        async def _go():
+            host, port = server.base_url.split("://", 1)[1].split(":")
+            reader, writer = await asyncio.open_connection(host, int(port))
+            writer.write(b"POST /v1/run HTTP/1.1\r\n"
+                         b"Content-Length: 5\r\n\r\n{nope")
+            await writer.drain()
+            status = int((await reader.readline()).split()[1])
+            writer.close()
+            return status
+
+        assert asyncio.run(_go()) == 400
+
+    def test_bad_source_is_400(self, server):
+        status, _, body = request(server, "POST", "/v1/run",
+                                  {"source": "void main() { nope"})
+        assert status == 400
+        assert "does not compile" in body["error"]
+
+
+class TestBitIdentity:
+    def test_served_run_equals_local_run(self, server):
+        payload = {"source": FAST, "fuel": FUEL}
+        status, _, served = request(server, "POST", "/v1/run", payload)
+        assert status == 200
+        local = run_response(api.run(FAST, CompileOptions(fuel=FUEL)))
+        assert strip_volatile(served) == strip_volatile(local)
+
+    def test_compile_reports_cache_key(self, server):
+        payload = {"source": FAST, "fuel": FUEL}
+        status, _, first = request(server, "POST", "/v1/compile", payload)
+        assert status == 200
+        assert first["cache_key"]
+        status, _, second = request(server, "POST", "/v1/compile", payload)
+        # Same fingerprint; the repeat is answered from the cache.
+        assert second["cache_key"] == first["cache_key"]
+        assert second["cached"] is True
+        assert strip_volatile(second) == strip_volatile(first)
+
+    def test_bench_endpoint(self, server):
+        status, _, body = request(
+            server, "POST", "/v1/bench",
+            {"workload": "huffman", "fuel": 2_000_000,
+             "variants": ["baseline", "new algorithm (all)"]},
+            timeout=120.0)
+        assert status == 200
+        assert set(body["cells"]) == {"baseline", "new algorithm (all)"}
+        cell = body["cells"]["new algorithm (all)"]
+        assert cell["steps"] > 0
+
+    def test_profile_endpoint(self, server):
+        status, _, body = request(server, "POST", "/v1/profile",
+                                  {"source": SLOW, "fuel": FUEL})
+        assert status == 200
+        assert body["total_cycles"] > 0
+        assert body["hot_blocks"]
+        assert body["fingerprint"]
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_computation(self):
+        config = ServerConfig(port=0, workers=2, queue_limit=8)
+        with ServerThread(config) as thread:
+            payload = {"source": SLOW, "fuel": FUEL}
+
+            async def burst():
+                first = asyncio.ensure_future(
+                    http(thread.base_url, "POST", "/v1/run", payload))
+                # Let the leader through admission + prepare first.
+                await asyncio.sleep(0.05)
+                others = [http(thread.base_url, "POST", "/v1/run", payload)
+                          for _ in range(3)]
+                return await asyncio.gather(first, *others)
+
+            answers = asyncio.run(burst())
+            assert [status for status, _, _ in answers] == [200] * 4
+            bodies = [strip_volatile(body) for _, _, body in answers]
+            assert all(body == bodies[0] for body in bodies)
+            coalesced = [body for _, _, body in answers
+                         if body.get("coalesced")]
+            assert coalesced, "no request was coalesced"
+            metrics = thread.server.metrics
+            assert metrics.counter_value("serve.coalesced",
+                                         endpoint="run") >= 1
+
+    def test_different_requests_do_not_coalesce(self):
+        config = ServerConfig(port=0, workers=2, queue_limit=8)
+        with ServerThread(config) as thread:
+            async def pair():
+                return await asyncio.gather(
+                    http(thread.base_url, "POST", "/v1/run",
+                         {"source": FAST, "fuel": FUEL}),
+                    http(thread.base_url, "POST", "/v1/run",
+                         {"source": SLOW, "fuel": FUEL}),
+                )
+
+            answers = asyncio.run(pair())
+            assert [status for status, _, _ in answers] == [200, 200]
+            assert thread.server.metrics.counter_value(
+                "serve.coalesced", endpoint="run") == 0
+
+
+class TestBackpressure:
+    def test_saturation_sheds_with_retry_after(self):
+        config = ServerConfig(port=0, workers=1, queue_limit=1,
+                              retry_after=0.25)
+        with ServerThread(config) as thread:
+            # Distinct sources: coalescing must not absorb the overload.
+            filler = {"source": SLOW, "fuel": FUEL}
+            extra = {"source": SLOW.replace("t += i", "t += i + 1"),
+                     "fuel": FUEL}
+
+            async def overload():
+                first = asyncio.ensure_future(
+                    http(thread.base_url, "POST", "/v1/run", filler))
+                await asyncio.sleep(0.05)  # ensure the filler is admitted
+                second = await http(thread.base_url, "POST", "/v1/run",
+                                    extra)
+                return await first, second
+
+            (s1, _, _), (s2, headers, body) = asyncio.run(overload())
+            assert s1 == 200
+            assert s2 == 429
+            assert headers["retry-after"] == "0.25"
+            assert "retry" in body["error"].lower()
+            metrics = thread.server.metrics
+            assert metrics.counter_value("serve.shed") >= 1
+
+    def test_shed_requests_recover_after_drain(self):
+        config = ServerConfig(port=0, workers=1, queue_limit=1)
+        with ServerThread(config) as thread:
+            payload = {"source": FAST, "fuel": FUEL}
+            status, _, _ = request(thread, "POST", "/v1/run", payload)
+            assert status == 200  # nothing in flight: admitted again
+
+
+class TestKeepAlive:
+    def test_two_requests_on_one_connection(self, server):
+        async def _go():
+            host, port = server.base_url.split("://", 1)[1].split(":")
+            reader, writer = await asyncio.open_connection(host, int(port))
+            try:
+                for _ in range(2):
+                    writer.write(b"GET /healthz HTTP/1.1\r\n\r\n")
+                    await writer.drain()
+                    status = int((await reader.readline()).split()[1])
+                    assert status == 200
+                    length = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                        name, _, value = line.decode().partition(":")
+                        if name.strip().lower() == "content-length":
+                            length = int(value.strip())
+                    await reader.readexactly(length)
+            finally:
+                writer.close()
+
+        asyncio.run(_go())

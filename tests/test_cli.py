@@ -334,3 +334,105 @@ class TestProfile:
         assert "hot blocks (profile artifacts)" in html
         assert 'class="cell' in html
         assert "<script src" not in html and "<link" not in html
+
+
+class TestErrorPaths:
+    """Bad input exits non-zero with a one-line diagnostic, never a
+    traceback (stderr must not contain 'Traceback')."""
+
+    def test_malformed_source_is_a_diagnostic(self, tmp_path, capsys):
+        bad = tmp_path / "bad.j32"
+        bad.write_text("void main() { nope")
+        assert main(["run", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_malformed_source_on_compile(self, tmp_path, capsys):
+        bad = tmp_path / "bad.j32"
+        bad.write_text("int main() { return }")
+        assert main(["compile", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_missing_file(self, tmp_path, capsys):
+        missing = tmp_path / "missing.j32"
+        assert main(["run", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert "no such file" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_workload_on_bench(self, capsys):
+        assert main(["bench", "nope"]) == 1
+        captured = capsys.readouterr()
+        assert "unknown workload 'nope'" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_variant_is_usage_error(self, source_file, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["run", source_file, "--variant", "nope"])
+        assert exit_info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_engine_is_usage_error(self, source_file, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["run", source_file, "--engine", "jit"])
+        assert exit_info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_prune_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        source = tmp_path / "k.j32"
+        source.write_text("void main() { int x = 1; sink(x); }")
+        # Populate via a cached compile, then inspect.
+        assert main(["compile", str(source), "--cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   : 1" in out
+        assert "unbounded" in out
+
+        # prune without a budget is a usage error...
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir)]) == 2
+        assert "no byte budget" in capsys.readouterr().err
+        # ...with a huge budget nothing is evicted...
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir),
+                     "--cache-max-bytes", "100000000"]) == 0
+        assert "evicted   : 0" in capsys.readouterr().out
+        # ...with a tiny one everything goes.
+        assert main(["cache", "prune", "--cache-dir", str(cache_dir),
+                     "--cache-max-bytes", "1"]) == 0
+        assert "evicted   : 1" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert list(cache_dir.glob("*.pkl")) == []
+
+
+class TestServeCommands:
+    def test_loadtest_spawn_round_trip(self, tmp_path, capsys):
+        report_path = tmp_path / "loadtest.json"
+        history = tmp_path / "history"
+        assert main(["loadtest", "--spawn", "--requests", "8",
+                     "--concurrency", "4", "--fuel", "1000000",
+                     "--json", str(report_path),
+                     "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "8 offered, 8 completed" in out
+        assert "bit-identical" in out
+        document = json.loads(report_path.read_text())
+        assert document["errors"] == 0
+        assert document["completed"] == 8
+        assert document["latency_ms"]["p50"] > 0
+        # The campaign landed in perf history as engine="serve" rows.
+        from repro.perf import HistoryStore
+
+        records = HistoryStore(history).records()
+        assert len(records) == 1
+        assert records[0].engine == "serve"
+        assert records[0].source == "loadtest"
