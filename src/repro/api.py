@@ -41,7 +41,11 @@ from .harness import (
     results_to_dict,
     run_suite,
 )
-from .interp import default_translation_cache, execute
+from .interp import (
+    default_codegen_cache,
+    default_translation_cache,
+    execute,
+)
 from .ir.function import Program
 from .machine.costs import CycleReport, count_cycles
 from .profile import ExecutionProfile, artifact_path, build_profile, write_profile
@@ -190,8 +194,16 @@ def run(
     compiled = compile(program, options, config=config, driver=driver)
     metrics = (compiled.telemetry.metrics
                if compiled.telemetry is not None else None)
+    run_kwargs: dict = {}
+    if options.layout_profile:
+        from .interp import load_layout_profiles
+
+        run_kwargs["layout_profiles"] = load_layout_profiles(
+            options.layout_profile
+        )
     execution = execute(compiled.program, engine=options.engine,
-                        traits=traits, fuel=options.fuel, metrics=metrics)
+                        traits=traits, fuel=options.fuel, metrics=metrics,
+                        **run_kwargs)
     if execution.observable() != gold.observable():
         raise SoundnessError(
             f"{program.name}: observable behaviour changed "
@@ -342,6 +354,7 @@ def bench(
         )
         stats = dict(active.stats())
         stats.update(default_translation_cache().stats())
+        stats.update(default_codegen_cache().stats())
         return SuiteResult(results=results, driver_stats=stats)
 
     if driver is not None:

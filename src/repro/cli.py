@@ -68,10 +68,12 @@ def _common_args(parser: argparse.ArgumentParser, *,
 
 def _engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None,
-                        choices=["closure", "reference", "both"],
+                        choices=["closure", "reference", "codegen", "both"],
                         help="execution engine: pre-translated closure "
                              "code (default), the reference interpreter, "
-                             "or both with a parity cross-check")
+                             "generated Python code with superinstruction "
+                             "fusion, or all three with a parity "
+                             "cross-check")
 
 
 def _driver_args(parser: argparse.ArgumentParser) -> None:
@@ -131,9 +133,30 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_ir(args: argparse.Namespace) -> int:
+    from .workloads import JBYTEMARK, SPECJVM98, get_workload
+
     options = CompileOptions.from_cli_args(args)
-    compiled = api.compile(_load(args.file), options)
-    print(format_program(compiled.program))
+    if args.file in JBYTEMARK + SPECJVM98:
+        source = get_workload(args.file).program()
+    else:
+        source = _load(args.file)
+    compiled = api.compile(source, options)
+    if getattr(args, "emit_python", False):
+        from .interp import generate_source, load_layout_profiles
+        from .interp.layout import program_layouts
+
+        layouts: dict = {}
+        if options.layout_profile:
+            layouts = program_layouts(
+                compiled.program,
+                load_layout_profiles(options.layout_profile),
+            )
+        traits = options.traits()
+        for name, func in compiled.program.functions.items():
+            print(generate_source(func, ideal=False, traits=traits,
+                                  layout=layouts.get(name)))
+    else:
+        print(format_program(compiled.program))
     _finish_telemetry(args, compiled.telemetry)
     return 0
 
@@ -675,11 +698,24 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("file")
     _common_args(run_parser, telemetry=True)
     _engine_arg(run_parser)
+    run_parser.add_argument("--layout-profile", default=None, metavar="PATH",
+                            help="*.profile.json artifact (or directory of "
+                                 "them) driving profile-guided block layout "
+                                 "in the translated engines")
     run_parser.set_defaults(fn=cmd_run)
 
-    ir_parser = subparsers.add_parser("ir", help="dump optimized IR")
-    ir_parser.add_argument("file")
+    ir_parser = subparsers.add_parser(
+        "ir", help="dump optimized IR (or generated Python)"
+    )
+    ir_parser.add_argument("file", help="a .j32 file or a workload name")
     _common_args(ir_parser, telemetry=True)
+    ir_parser.add_argument("--emit-python", action="store_true",
+                           help="dump the codegen tier's generated Python "
+                                "source (block-order + fusion annotations) "
+                                "instead of the IR")
+    ir_parser.add_argument("--layout-profile", default=None, metavar="PATH",
+                           help="*.profile.json artifact (or directory) "
+                                "whose edge counts order the emitted blocks")
     ir_parser.set_defaults(fn=cmd_ir)
 
     compile_parser = subparsers.add_parser(
@@ -825,7 +861,8 @@ def main(argv: list[str] | None = None) -> int:
                              help="workloads in the grid (default: "
                                   "fourier huffman)")
     perf_record.add_argument("--engines", nargs="+", default=["closure"],
-                             choices=["closure", "reference", "both"],
+                             choices=["closure", "reference", "codegen",
+                                      "both"],
                              help="execution engines to measure")
     perf_record.add_argument("--variants", nargs="+", default=None,
                              choices=sorted(VARIANTS), metavar="NAME",

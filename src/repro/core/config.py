@@ -128,22 +128,28 @@ class CompileOptions:
     #: caller owns the program outright and wants it consumed in place)
     clone: bool = True
     #: execution engine for every interpreter run the entry point makes:
-    #: ``"closure"`` (translated threaded code), ``"reference"`` (the
-    #: per-step oracle loop), or ``"both"`` (run both, assert parity).
-    #: The literal default tracks ``repro.interp.engine.DEFAULT_ENGINE``
-    #: (not imported here to keep ``repro.core`` import-light).
+    #: ``"closure"`` (translated threaded code), ``"codegen"``
+    #: (generated Python source with superinstruction fusion),
+    #: ``"reference"`` (the per-step oracle loop), or ``"both"`` (run
+    #: all three, assert parity).  The literal default tracks
+    #: ``repro.interp.engine.DEFAULT_ENGINE`` (not imported here to
+    #: keep ``repro.core`` import-light).
     engine: str = "closure"
     #: directory for execution-profile artifacts (``None`` = don't
     #: profile; the flag gates *all* per-run profile collection, so the
     #: hot loops stay untouched when it is off — see docs/PROFILING.md)
     profile_dir: str | None = None
+    #: a PR-6 ``*.profile.json`` artifact (or a directory of them) whose
+    #: edge counts drive profile-guided block layout in the translated
+    #: engines; ``None`` = source-order emission
+    layout_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise ValueError(f"unknown variant: {self.variant!r}")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if self.engine not in ("closure", "reference", "both"):
+        if self.engine not in ("closure", "reference", "codegen", "both"):
             raise ValueError(f"unknown engine: {self.engine!r}")
 
     @classmethod
@@ -171,6 +177,8 @@ class CompileOptions:
             timeout=getattr(args, "timeout", defaults.timeout),
             engine=getattr(args, "engine", None) or defaults.engine,
             profile_dir=getattr(args, "profile_dir", defaults.profile_dir),
+            layout_profile=getattr(args, "layout_profile",
+                                   defaults.layout_profile),
         )
 
     def traits(self) -> MachineTraits:

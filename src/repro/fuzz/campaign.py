@@ -84,7 +84,8 @@ class CampaignConfig:
     #: seeds generated/compiled per driver batch
     batch_seeds: int = 8
     #: execution engine for every interpreter run; ``"both"`` also
-    #: cross-checks closure-vs-reference parity on every compiled cell
+    #: cross-checks reference/closure/codegen parity (a three-way
+    #: vote) on every compiled cell
     engine: str = "closure"
     #: write an execution-profile artifact of every new witness's gold
     #: run under this directory (divergence triage: the profile shows
@@ -102,7 +103,7 @@ class CampaignConfig:
             raise ValueError("seeds must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if self.engine not in ("closure", "reference", "both"):
+        if self.engine not in ("closure", "reference", "codegen", "both"):
             raise ValueError(f"unknown engine: {self.engine!r}")
 
     def cell_configs(self) -> list[tuple[str, str, SignExtConfig]]:

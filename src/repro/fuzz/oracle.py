@@ -212,33 +212,35 @@ def check_lowering(program: Program, traits: MachineTraits) -> str | None:
 def engine_cross_check(program: Program, *, mode: str = "machine",
                        traits: MachineTraits = IA64,
                        fuel: int = 2_000_000) -> tuple[str, str] | None:
-    """Run both engines over one program and compare everything.
+    """Run all three engines over one program and compare everything.
 
+    A three-way vote: the reference interpreter is the baseline, and
+    both translated engines (closure and codegen) must agree with it.
     Observable behaviour, trap messages, final heap state, and — when
     both runs complete — the entire ``ExecResult`` (step counts, site/
     opcode/extend counts, profiles) must match bit for bit.  Step counts
-    of *failed* runs are deliberately not compared: the closure engine
-    only tracks fuel at segment granularity on exception paths.
+    of *failed* runs are deliberately not compared: the translated
+    engines only track fuel at segment granularity on exception paths.
     """
-    closure_obs, closure_res = _observe(program, mode, traits, fuel,
-                                        engine="closure")
     ref_obs, ref_res = _observe(program, mode, traits, fuel,
                                 engine="reference")
-    if closure_obs.observable() != ref_obs.observable():
-        return (KIND_ENGINE,
-                f"closure engine finished {closure_obs.observable()!r} "
-                f"but reference finished {ref_obs.observable()!r}")
-    if closure_obs.heap != ref_obs.heap:
-        return (KIND_ENGINE,
-                "final heap differs between engines: "
-                + _heap_diff(ref_obs.heap, closure_obs.heap))
-    if closure_res is not None and ref_res is not None \
-            and closure_res != ref_res:
-        return (KIND_ENGINE,
-                "engines agree on observables but ExecResult differs "
-                f"(closure steps={closure_res.steps} "
-                f"extends={closure_res.extend_counts} vs reference "
-                f"steps={ref_res.steps} extends={ref_res.extend_counts})")
+    for engine in ("closure", "codegen"):
+        obs, res = _observe(program, mode, traits, fuel, engine=engine)
+        if obs.observable() != ref_obs.observable():
+            return (KIND_ENGINE,
+                    f"{engine} engine finished {obs.observable()!r} "
+                    f"but reference finished {ref_obs.observable()!r}")
+        if obs.heap != ref_obs.heap:
+            return (KIND_ENGINE,
+                    f"final heap differs between {engine} and reference: "
+                    + _heap_diff(ref_obs.heap, obs.heap))
+        if res is not None and ref_res is not None and res != ref_res:
+            return (KIND_ENGINE,
+                    "engines agree on observables but ExecResult differs "
+                    f"({engine} steps={res.steps} "
+                    f"extends={res.extend_counts} vs reference "
+                    f"steps={ref_res.steps} "
+                    f"extends={ref_res.extend_counts})")
     return None
 
 

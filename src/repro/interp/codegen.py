@@ -1,0 +1,1050 @@
+"""Python-source codegen: one tier beyond closures.
+
+The closure engine (:mod:`repro.interp.translate`) removed dispatch and
+register-name lookup, but still pays one Python call per IR op.  This
+module removes that too, in the superinstruction tradition of OCAMLJIT2:
+each translated IR function becomes one generated Python ``def`` whose
+
+* registers are plain local variables (``r0`` … ``rN``, positionally
+  identical to the closure engine's flat slot list),
+* opcode semantics are inlined statements — no per-op closure calls,
+* immediates, traits-resolved load extensions, and the ideal/machine
+  mode are burned in as literals,
+* adjacent pairs are fused into superinstructions: any *pure* producer
+  whose destination is read exactly once function-wide, by the
+  immediately following instruction, is inlined into that consumer's
+  expression (``cmp``+``br`` becomes a native ``if a < b:``,
+  ``add``+``store`` a single statement, ``sext``+use an inline
+  canonicalization), and
+* blocks are emitted in profile-guided order so hot successors take the
+  dispatch loop's fall-through path.
+
+The source is ``compile()``d under a stable synthetic filename that is
+registered in :mod:`linecache`, so tracebacks out of generated code show
+real generated lines.
+
+Equivalence with the closure engine (and therefore with the reference
+interpreter) is exact, not approximate:
+
+* **Fuel** uses the same per-CALL-boundary segments with the same static
+  step counts.  When a segment pre-check trips, the generated code hands
+  the closure translation's op list for that segment — plus a
+  positionally identical register list — to
+  ``ClosureInterpreter._fuel_out``, which replays exactly the
+  instructions the reference would still have executed.  The pre-check
+  fires *before* any op of the segment ran, so fused producers that
+  never materialized their destination are re-executed by the replay
+  closures.
+* **Counting** uses the same fold-on-success block-entry counters (the
+  generated frame increments the same per-function entry arrays), so
+  ``ExecResult`` site/opcode/extend counts and branch profiles are
+  bit-identical.
+* **Traps** carry the same messages, raised at the same points; fusion
+  only ever inlines producers that cannot raise.
+
+A function the emitter cannot compile falls back to the closure engine
+(and, below that, to the reference loop) per function.  Generated code
+is cached content-addressed in :class:`CodegenCache`, sharing one
+compilation across bench-grid clones exactly like the closure engine's
+:class:`~repro.interp.translate.TranslationCache`.
+"""
+
+from __future__ import annotations
+
+import builtins
+import linecache
+import struct
+import threading
+from collections import OrderedDict
+
+from ..ir.function import Function
+from ..ir.instruction import Instr
+from ..ir.opcodes import Cond, Opcode
+from ..ir.types import ScalarType
+from ..machine.model import MachineTraits
+from .interpreter import (
+    _FLOAT_OPS,
+    _java_d2i,
+    _java_d2l,
+    _java_idiv,
+    _java_irem,
+    stack_overflow_trap,
+)
+from .memory import MemoryFault, Trap
+from .translate import (
+    _EXTEND_WIDTH,
+    _FILL32,
+    _FNV_PRIME,
+    _HIGH32,
+    _HIGH64,
+    _TERMINATORS,
+    _U32,
+    _U64,
+    _ZEXT_WIDTH,
+    TERM_CHECKED,
+    TERM_INLINE,
+    TERM_NONE,
+    TranslatedFunction,
+    Untranslatable,
+    _cut_block,
+    _traits_key,
+    function_digest,
+    normalize_layout,
+    translate_function,
+)
+
+__all__ = [
+    "CodegenCache",
+    "GeneratedFunction",
+    "default_codegen_cache",
+    "generate_source",
+]
+
+_IND = "    "
+
+#: Python comparison operator per condition (sign handled by operand
+#: preparation, exactly as in the closure factories).
+_COND_TEXT = {
+    Cond.EQ: "==", Cond.NE: "!=",
+    Cond.LT: "<", Cond.ULT: "<",
+    Cond.LE: "<=", Cond.ULE: "<=",
+    Cond.GT: ">", Cond.UGT: ">",
+    Cond.GE: ">=", Cond.UGE: ">=",
+}
+
+#: 32-bit binops whose machine-mode semantics inline to one expression.
+_SIMPLE32 = {Opcode.ADD32: "+", Opcode.SUB32: "-", Opcode.MUL32: "*"}
+_BITWISE32 = {Opcode.AND32: "&", Opcode.OR32: "|", Opcode.XOR32: "^"}
+_SIMPLE64 = {Opcode.ADD64: "+", Opcode.SUB64: "-", Opcode.MUL64: "*"}
+_BITWISE64 = {Opcode.AND64: "&", Opcode.OR64: "|", Opcode.XOR64: "^"}
+
+#: Float binops inlined as native operators inside the parity
+#: try/except (the handlers are ``a + b``-style lambdas).
+_FLOAT_INLINE = {Opcode.FADD: "+", Opcode.FSUB: "-", Opcode.FMUL: "*"}
+
+
+def _cg_d2i(value: float) -> int:
+    # wrap_u64(sign_extend(_java_d2i(v), 32)) with the composition
+    # flattened: _java_d2i is already in [-2**31, 2**31).
+    v = _java_d2i(value)
+    return v & _U64 if v < 0 else v
+
+
+def _cg_d2l(value: float) -> int:
+    return _java_d2l(value) & _U64
+
+
+#: Static globals every generated module runs under.  Nothing in here is
+#: binding-specific, so one compiled function object is shared by every
+#: interpreter (and thread) that executes the same content.
+_GEN_GLOBALS: dict[str, object] = {
+    "__builtins__": builtins,
+    "_U64": _U64,
+    "_U32": _U32,
+    "_HIGH32": _HIGH32,
+    "_HIGH64": _HIGH64,
+    "_FILL32": _FILL32,
+    "_FNV": _FNV_PRIME,
+    "_Trap": Trap,
+    "_MemoryFault": MemoryFault,
+    "_overflow": stack_overflow_trap,
+    "_idiv": _java_idiv,
+    "_irem": _java_irem,
+    "_d2i": _cg_d2i,
+    "_d2l": _cg_d2l,
+    "_pack": struct.pack,
+    "_unpack": struct.unpack,
+}
+for _t in ScalarType:
+    _GEN_GLOBALS[f"_T_{_t.name}"] = _t
+for _op, _handler in _FLOAT_OPS.items():
+    _GEN_GLOBALS[f"_fop_{_op.value}"] = _handler
+del _t, _op, _handler
+
+
+# -- operand values -----------------------------------------------------------
+#
+# An operand is either a live register read ("reg", slot) or a fused
+# pure expression ("expr", text, kind).  ``kind`` records what the
+# expression is guaranteed to evaluate to, so conversions the closure
+# factories apply to a *register read* can be dropped when the value is
+# statically known to already have that shape:
+#
+#   int   — a Python int (all integer producers mask their results)
+#   bool  — a comparison result (int subclass with value 0/1)
+#   float — a Python float
+
+def _as_int(operand) -> str:
+    """The value as the closure's ``int(regs[slot])`` would see it."""
+    if operand[0] == "reg":
+        return f"int(r{operand[1]})"
+    _, text, kind = operand
+    if kind == "int" or kind == "bool":
+        return text
+    return f"int({text})"
+
+
+def _as_float(operand) -> str:
+    """The value as the closure's ``float(regs[slot])`` would see it."""
+    if operand[0] == "reg":
+        return f"float(r{operand[1]})"
+    _, text, kind = operand
+    if kind == "float":
+        return text
+    return f"float({text})"
+
+
+def _as_raw(operand) -> str:
+    """The value exactly as stored in the register (no conversion)."""
+    if operand[0] == "reg":
+        return f"r{operand[1]}"
+    _, text, kind = operand
+    if kind == "bool":
+        # comparisons are *stored* as int(bool); keep the stored type
+        # exact so e.g. a returned value serializes identically
+        return f"+{text}"
+    return text
+
+
+class _Emitter:
+    """Emits one function's generated Python source.
+
+    Walks the IR in the closure translation's emission order, mirrors
+    its segmentation, and produces a module containing a single
+    ``def _f(st, args):``.  Raises :class:`Untranslatable` on anything
+    it cannot compile faithfully (the engine then keeps the closure
+    tier for that function).
+    """
+
+    def __init__(self, func: Function, translated: TranslatedFunction, *,
+                 ideal: bool, traits: MachineTraits, check_dummies: bool,
+                 profiled: bool, layout: tuple[str, ...] | None) -> None:
+        self.func = func
+        self.translated = translated
+        self.ideal = ideal
+        self.traits = traits
+        self.check_dummies = check_dummies
+        self.profiled = profiled
+        self.layout = layout
+        self.slots = {name: i for i, name in enumerate(translated.slot_names)}
+        self.fused = 0
+        self._scratch_n = 0
+        self._pending: tuple[str, tuple] | None = None
+        self._read_counts = self._count_reads()
+        self._regs_list = "[" + ", ".join(
+            f"r{i}" for i in range(translated.n_slots)
+        ) + "]"
+
+    # -- small helpers --------------------------------------------------
+
+    def _slot(self, name: str) -> int:
+        try:
+            return self.slots[name]
+        except KeyError:
+            raise Untranslatable(
+                f"{self.func.name}: register {name!r} missing from the "
+                f"closure translation's slot map"
+            ) from None
+
+    def _scratch(self) -> str:
+        self._scratch_n += 1
+        return f"_w{self._scratch_n}"
+
+    def _count_reads(self) -> dict[str, int]:
+        """Function-wide read counts per register name (all sources,
+        including terminators and unreachable tails — conservative)."""
+        counts: dict[str, int] = {}
+        for block in self.func.blocks:
+            for instr in block.instrs:
+                for src in instr.srcs:
+                    counts[src.name] = counts.get(src.name, 0) + 1
+        return counts
+
+    def _operand(self, name: str) -> tuple:
+        pending = self._pending
+        if pending is not None and pending[0] == name:
+            self._pending = None
+            return pending[1]
+        return ("reg", self._slot(name))
+
+    # -- expression builders (pure value producers) ---------------------
+
+    def _canon32(self, masked_expr: str) -> str:
+        """Canonicalize a 32-bit-masked int expression to 64 bits —
+        the ``(v | _FILL32) if v & _HIGH32 else v`` closure pattern."""
+        w = self._scratch()
+        return (f"(({w} | _FILL32) if ({w} := {masked_expr}) & _HIGH32 "
+                f"else {w})")
+
+    def _signed32(self, operand) -> str:
+        w = self._scratch()
+        return (f"(({w} - 0x1_0000_0000) if "
+                f"({w} := {_as_int(operand)} & _U32) & _HIGH32 else {w})")
+
+    def _signed64(self, int_expr: str) -> str:
+        w = self._scratch()
+        return (f"(({w} - 0x1_0000_0000_0000_0000) if "
+                f"({w} := {int_expr}) & _HIGH64 else {w})")
+
+    def _const_value(self, instr: Instr):
+        # mirrors the closure's translate-time constant folding
+        from ..ir.types import sign_extend, wrap_u64
+
+        if instr.elem is ScalarType.F64:
+            value = float(instr.imm)
+            if value != value or value in (float("inf"), float("-inf")):
+                return (f'float("{value!r}")', "float")
+            return (repr(value), "float")
+        if instr.elem is ScalarType.I64 or instr.elem is ScalarType.REF:
+            return (hex(wrap_u64(int(instr.imm))), "int")
+        return (hex(wrap_u64(sign_extend(int(instr.imm), 32))), "int")
+
+    def _cmp_expr(self, instr: Instr) -> str:
+        op = _COND_TEXT[instr.cond]
+        a = self._operand(instr.srcs[0].name)
+        b = self._operand(instr.srcs[1].name)
+        if instr.opcode is Opcode.CMPF:
+            return f"({_as_float(a)} {op} {_as_float(b)})"
+        if instr.opcode is Opcode.CMP32:
+            if instr.cond.is_unsigned:
+                return (f"(({_as_int(a)} & _U32) {op} "
+                        f"({_as_int(b)} & _U32))")
+            return f"({self._signed32(a)} {op} {self._signed32(b)})"
+        # CMP64
+        if instr.cond.is_unsigned:
+            return f"({_as_int(a)} {op} {_as_int(b)})"
+        return (f"({self._signed64(_as_int(a))} {op} "
+                f"{self._signed64(_as_int(b))})")
+
+    def _value(self, instr: Instr):
+        """``(expr, kind, pure)`` for a value-producing instruction, or
+        ``None`` when it only exists in statement form.
+
+        ``expr`` evaluates to exactly the value the closure factory
+        would store; ``pure`` means it cannot raise and touches no
+        interpreter state, which is what fusion requires.
+        """
+        opcode = instr.opcode
+        s = instr.srcs
+
+        if opcode is Opcode.CONST:
+            expr, kind = self._const_value(instr)
+            return (expr, kind, True)
+
+        if opcode is Opcode.MOV:
+            operand = self._operand(s[0].name)
+            if operand[0] == "reg":
+                return (f"r{operand[1]}", "raw", True)
+            return (operand[1], operand[2], True)
+
+        if opcode in _EXTEND_WIDTH:
+            width = _EXTEND_WIDTH[opcode]
+            mask = (1 << width) - 1
+            high = 1 << (width - 1)
+            fill = _U64 ^ mask
+            a = self._operand(s[0].name)
+            w = self._scratch()
+            return ((f"(({w} | {fill:#x}) if "
+                     f"({w} := {_as_int(a)} & {mask:#x}) & {high:#x} "
+                     f"else {w})"), "int", True)
+
+        if opcode in _ZEXT_WIDTH:
+            mask = (1 << _ZEXT_WIDTH[opcode]) - 1
+            a = self._operand(s[0].name)
+            return (f"({_as_int(a)} & {mask:#x})", "int", True)
+
+        if opcode is Opcode.JUST_EXTENDED and not self.check_dummies:
+            a = self._operand(s[0].name)
+            return (_as_int(a), "int", True)
+
+        if opcode is Opcode.TRUNC32:
+            a = self._operand(s[0].name)
+            if self.ideal:
+                return (self._canon32(f"{_as_int(a)} & _U32"), "int", True)
+            return (_as_int(a), "int", True)
+
+        text = _SIMPLE32.get(opcode)
+        if text is not None:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            if self.ideal:
+                return (self._canon32(
+                    f"({_as_int(a)} {text} {_as_int(b)}) & _U32"
+                ), "int", True)
+            return (f"(({_as_int(a)} {text} {_as_int(b)}) & _U64)",
+                    "int", True)
+
+        text = _BITWISE32.get(opcode)
+        if text is not None:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            if self.ideal:
+                return (self._canon32(
+                    f"({_as_int(a)} {text} {_as_int(b)}) & _U32"
+                ), "int", True)
+            return (f"({_as_int(a)} {text} {_as_int(b)})", "int", True)
+
+        if opcode is Opcode.SHL32:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            expr = f"(({_as_int(a)} << ({_as_int(b)} & 31)) & _U64)"
+            if self.ideal:
+                return (self._canon32(f"{expr} & _U32"), "int", True)
+            return (expr, "int", True)
+
+        if opcode is Opcode.SHR32:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            expr = (f"(({self._signed32(a)} >> ({_as_int(b)} & 31)) "
+                    f"& _U64)")
+            if self.ideal:
+                return (self._canon32(f"{expr} & _U32"), "int", True)
+            return (expr, "int", True)
+
+        if opcode is Opcode.USHR32:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            expr = f"(({_as_int(a)} & _U32) >> ({_as_int(b)} & 31))"
+            if self.ideal:
+                return (self._canon32(f"{expr} & _U32"), "int", True)
+            return (expr, "int", True)
+
+        if opcode is Opcode.DIV32 or opcode is Opcode.REM32:
+            fn = "_idiv" if opcode is Opcode.DIV32 else "_irem"
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            expr = f"{fn}({_as_int(a)}, {_as_int(b)})"
+            if self.ideal:
+                return (self._canon32(f"{expr} & _U32"), "int", False)
+            return (expr, "int", False)  # traps on zero: never fused
+
+        text = _SIMPLE64.get(opcode)
+        if text is not None:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return (f"(({_as_int(a)} {text} {_as_int(b)}) & _U64)",
+                    "int", True)
+
+        text = _BITWISE64.get(opcode)
+        if text is not None:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return (f"({_as_int(a)} {text} {_as_int(b)})", "int", True)
+
+        if opcode is Opcode.SHL64:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return (f"(({_as_int(a)} << ({_as_int(b)} & 63)) & _U64)",
+                    "int", True)
+
+        if opcode is Opcode.SHR64:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return ((f"(({self._signed64(f'{_as_int(a)} & _U64')} >> "
+                     f"({_as_int(b)} & 63)) & _U64)"), "int", True)
+
+        if opcode is Opcode.USHR64:
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return (f"({_as_int(a)} >> ({_as_int(b)} & 63))", "int", True)
+
+        if opcode is Opcode.DIV64 or opcode is Opcode.REM64:
+            fn = "_idiv" if opcode is Opcode.DIV64 else "_irem"
+            a = self._operand(s[0].name)
+            b = self._operand(s[1].name)
+            return (f"{fn}({_as_int(a)}, {_as_int(b)})", "int", False)
+
+        if opcode is Opcode.NEG32 or opcode is Opcode.NOT32:
+            sign = "-" if opcode is Opcode.NEG32 else "~"
+            a = self._operand(s[0].name)
+            if self.ideal:
+                return (self._canon32(f"({sign}{_as_int(a)}) & _U32"),
+                        "int", True)
+            return (f"(({sign}{_as_int(a)}) & _U64)", "int", True)
+
+        if opcode is Opcode.NEG64 or opcode is Opcode.NOT64:
+            sign = "-" if opcode is Opcode.NEG64 else "~"
+            a = self._operand(s[0].name)
+            return (f"(({sign}{_as_int(a)}) & _U64)", "int", True)
+
+        if opcode in (Opcode.CMP32, Opcode.CMP64, Opcode.CMPF):
+            return (self._cmp_expr(instr), "bool", True)
+
+        if opcode is Opcode.I2D or opcode is Opcode.L2D:
+            a = self._operand(s[0].name)
+            return (f"float({self._signed64(f'{_as_int(a)} & _U64')})",
+                    "float", True)
+
+        if opcode is Opcode.D2I:
+            a = self._operand(s[0].name)
+            return (f"_d2i({_as_float(a)})", "int", True)
+
+        if opcode is Opcode.D2L:
+            a = self._operand(s[0].name)
+            return (f"_d2l({_as_float(a)})", "int", True)
+
+        return None
+
+    # -- statement emitters ---------------------------------------------
+
+    def _emit_op(self, instr: Instr, nxt: Instr | None) -> list[str]:
+        """Statements for one non-CALL, non-terminator instruction (or
+        none, when the value is fused into ``nxt``)."""
+        opcode = instr.opcode
+
+        if opcode is Opcode.NOP:
+            return [f"pass  # nop: {instr}"]
+
+        value = self._value(instr)
+        if value is not None:
+            expr, kind, pure = value
+            dest = instr.dest.name
+            if (pure and nxt is not None
+                    and self._read_counts.get(dest, 0) == 1
+                    and sum(1 for src in nxt.srcs if src.name == dest) == 1):
+                self._pending = (dest, ("expr", expr, kind))
+                self.fused += 1
+                return [f"# fused into next: {instr}"]
+            store = f"+{expr}" if kind == "bool" else expr
+            return [f"r{self._slot(dest)} = {store}"]
+
+        return self._emit_stateful(instr)
+
+    def _emit_stateful(self, instr: Instr) -> list[str]:
+        opcode = instr.opcode
+        s = instr.srcs
+        dst = (f"r{self._slot(instr.dest.name)}"
+               if instr.dest is not None else None)
+
+        if opcode is Opcode.JUST_EXTENDED:  # check_dummies on
+            a = self._operand(s[0].name)
+            w, x = self._scratch(), self._scratch()
+            msg = ("just_extended marker saw a non-canonical value "
+                   "0x%016x — unsound elimination")
+            return [
+                f"{w} = {_as_int(a)}",
+                f"{x} = {w} & _U32",
+                f"if (({x} | _FILL32) if {x} & _HIGH32 else {x}) != {w}:",
+                f"{_IND}raise _MemoryFault({msg!r} % {w})",
+                f"{dst} = {w}",
+            ]
+
+        handler = _FLOAT_OPS.get(opcode)
+        if handler is not None:
+            text = str(instr)
+            prefix = f"floating point error in {text}: "
+            inline = _FLOAT_INLINE.get(opcode)
+            if inline is not None:
+                a = self._operand(s[0].name)
+                b = self._operand(s[1].name)
+                call = f"{_as_float(a)} {inline} {_as_float(b)}"
+            else:
+                operands = [self._operand(src.name) for src in s]
+                args = ", ".join(_as_float(o) for o in operands)
+                call = f"_fop_{opcode.value}({args})"
+            return [
+                "try:",
+                f"{_IND}{dst} = {call}",
+                "except (ValueError, OverflowError) as _exc:",
+                f"{_IND}raise _Trap({prefix!r} + str(_exc)) from _exc",
+            ]
+
+        if opcode is Opcode.NEWARRAY:
+            a = self._operand(s[0].name)
+            length = self._signed64(f"{_as_int(a)} & _U64")
+            return [f"{dst} = _heap.allocate(_T_{instr.elem.name}, "
+                    f"{length})"]
+
+        if opcode is Opcode.ALOAD:
+            aref = self._operand(s[0].name)
+            aidx = self._operand(s[1].name)
+            arr, idx = self._scratch(), self._scratch()
+            lines = [
+                f"{arr} = _heap.deref({_as_int(aref)})",
+                f"{idx} = _heap.checked_index({arr}, {_as_int(aidx)})",
+            ]
+            kind, bits = _load_ext_params(instr.elem, self.ideal,
+                                          self.traits)
+            cell = f"{arr}.cells[{idx}]"
+            if kind == "float":
+                lines.append(f"{dst} = float({cell})")
+            elif kind == "wide":
+                lines.append(f"{dst} = int({cell}) & _U64")
+            else:
+                mask = (1 << bits) - 1
+                if kind == "sign":
+                    high = 1 << (bits - 1)
+                    fill = _U64 ^ mask
+                    w = self._scratch()
+                    lines.append(f"{w} = int({cell}) & {mask:#x}")
+                    lines.append(f"{dst} = ({w} | {fill:#x}) "
+                                 f"if {w} & {high:#x} else {w}")
+                else:
+                    lines.append(f"{dst} = int({cell}) & {mask:#x}")
+            return lines
+
+        if opcode is Opcode.ASTORE:
+            aref = self._operand(s[0].name)
+            aidx = self._operand(s[1].name)
+            val = self._operand(s[2].name)
+            arr, idx = self._scratch(), self._scratch()
+            return [
+                f"{arr} = _heap.deref({_as_int(aref)})",
+                f"{idx} = _heap.checked_index({arr}, {_as_int(aidx)})",
+                f"_heap.store({arr}, {idx}, {_as_raw(val)})",
+            ]
+
+        if opcode is Opcode.ARRAYLEN:
+            a = self._operand(s[0].name)
+            return [f"{dst} = _heap.deref({_as_int(a)}).length"]
+
+        if opcode is Opcode.GLOAD:
+            kind, bits = _load_ext_params(instr.elem, self.ideal,
+                                          self.traits)
+            raw = f"_glob[{instr.gname!r}]"
+            if kind == "float":
+                return [f"{dst} = float({raw})"]
+            if kind == "wide":
+                return [f"{dst} = int({raw}) & _U64"]
+            mask = (1 << bits) - 1
+            if kind == "sign":
+                high = 1 << (bits - 1)
+                fill = _U64 ^ mask
+                w = self._scratch()
+                return [
+                    f"{w} = int({raw}) & {mask:#x}",
+                    f"{dst} = ({w} | {fill:#x}) if {w} & {high:#x} "
+                    f"else {w}",
+                ]
+            return [f"{dst} = int({raw}) & {mask:#x}"]
+
+        if opcode is Opcode.GSTORE:
+            a = self._operand(s[0].name)
+            if instr.elem is ScalarType.F64:
+                return [f"_glob[{instr.gname!r}] = {_as_float(a)}"]
+            mask = (1 << instr.elem.bits) - 1
+            return [f"_glob[{instr.gname!r}] = {_as_int(a)} & {mask:#x}"]
+
+        if opcode is Opcode.SINK:
+            a = self._operand(s[0].name)
+            if s[0].type is ScalarType.F64:
+                bits = f'_unpack("<Q", _pack("<d", {_as_float(a)}))[0]'
+                return [f"st.checksum = ((st.checksum ^ {bits}) "
+                        f"* _FNV) & _U64"]
+            return [f"st.checksum = ((st.checksum ^ ({_as_int(a)} "
+                    f"& _U64)) * _FNV) & _U64"]
+
+        raise Untranslatable(
+            f"{self.func.name}: unsupported opcode {opcode} in {instr}"
+        )
+
+    def _emit_call(self, instr: Instr) -> list[str]:
+        if instr.callee is None:
+            raise Untranslatable(f"call without callee: {instr}")
+        operands = [self._operand(src.name) for src in instr.srcs]
+        args = ", ".join(_as_raw(o) for o in operands)
+        call = f"st._call(_F[{instr.callee!r}], [{args}])"
+        if instr.dest is None:
+            return [call]
+        void_msg = f"void call assigned: {instr}"
+        return [
+            f"_ret = {call}",
+            "if _ret is None:",
+            f"{_IND}raise _Trap({void_msg!r})",
+            f"r{self._slot(instr.dest.name)} = _ret",
+        ]
+
+    # -- terminators ----------------------------------------------------
+
+    def _edge_line(self, src_idx: int, dst_idx: int) -> list[str]:
+        if not self.profiled:
+            return []
+        key = f"({src_idx}, {dst_idx})"
+        return [f"_p[{key}] = _p.get({key}, 0) + 1"]
+
+    def _goto(self, src_idx: int, dst_idx: int,
+              fallthrough_idx: int | None) -> list[str]:
+        lines = self._edge_line(src_idx, dst_idx)
+        lines.append(f"_b = {dst_idx}")
+        if dst_idx != fallthrough_idx:
+            lines.append("continue")
+        return lines
+
+    def _emit_terminator(self, instr: Instr, block_idx: int,
+                         labels: dict[str, int],
+                         fallthrough_idx: int | None) -> list[str]:
+        opcode = instr.opcode
+        if opcode is Opcode.RET:
+            if instr.srcs:
+                operand = self._operand(instr.srcs[0].name)
+                return [f"return {_as_raw(operand)}"]
+            return ["return None"]
+
+        try:
+            if opcode is Opcode.JMP:
+                target = labels[instr.targets[0]]
+                return self._goto(block_idx, target, fallthrough_idx)
+            then_idx = labels[instr.targets[0]]
+            else_idx = labels[instr.targets[1]]
+        except (KeyError, IndexError) as exc:
+            raise Untranslatable(f"bad branch target in {instr}") from exc
+
+        # BR: test the low 32 bits, exactly as _mk_br does — except a
+        # fused comparison becomes the condition itself (cmp+br
+        # superinstruction; a bool's truthiness equals the closure's
+        # ``int(regs[cond]) & _U32 != 0`` for 0/1 values).
+        operand = self._operand(instr.srcs[0].name)
+        if operand[0] == "expr" and operand[2] == "bool":
+            cond = operand[1]
+            negated = f"not {cond}"
+        else:
+            cond = f"{_as_int(operand)} & _U32"
+            negated = f"not ({cond})"
+
+        if else_idx == fallthrough_idx:
+            lines = [f"if {cond}:"]
+            lines += [_IND + line
+                      for line in self._goto(block_idx, then_idx, None)]
+            lines += self._goto(block_idx, else_idx, fallthrough_idx)
+            return lines
+        if then_idx == fallthrough_idx:
+            lines = [f"if {negated}:"]
+            lines += [_IND + line
+                      for line in self._goto(block_idx, else_idx, None)]
+            lines += self._goto(block_idx, then_idx, fallthrough_idx)
+            return lines
+        lines = [f"if {cond}:"]
+        lines += [_IND + line
+                  for line in self._goto(block_idx, then_idx, None)]
+        lines += self._goto(block_idx, else_idx, None)
+        return lines
+
+    # -- blocks and the whole function ----------------------------------
+
+    def _segments_of(self, instrs: list[Instr]):
+        """IR-level segmentation, mirroring ``_Translator._translate_block``:
+        ``(ops, n_steps, call | None)`` split at CALL boundaries."""
+        segments: list[tuple[list[Instr], int, Instr | None]] = []
+        ops: list[Instr] = []
+        for instr in instrs:
+            if instr.opcode is Opcode.CALL:
+                segments.append((ops, len(ops) + 1, instr))
+                ops = []
+            else:
+                ops.append(instr)
+        return segments, ops
+
+    def _emit_block(self, block, block_idx: int, labels: dict[str, int],
+                    n_blocks: int) -> list[str]:
+        name = self.func.name
+        self._pending = None
+        cut = _cut_block(block.instrs)
+        term_instr = (cut.pop() if cut and cut[-1].opcode in _TERMINATORS
+                      else None)
+        segments, tail_ops = self._segments_of(cut)
+        if term_instr is not None:
+            if tail_ops or not segments:
+                segments.append((tail_ops, len(tail_ops) + 1, None))
+                term_mode = TERM_INLINE
+            else:
+                term_mode = TERM_CHECKED
+        else:
+            if tail_ops:
+                segments.append((tail_ops, len(tail_ops), None))
+            term_mode = TERM_NONE
+
+        # the closure translation of the same content must agree on the
+        # segmentation, or fuel replay would diverge
+        translated_block = self.translated.blocks[block_idx]
+        if (translated_block.term_mode != term_mode
+                or len(translated_block.segments) != len(segments)
+                or any(t[1] != s[1] for t, s in
+                       zip(translated_block.segments, segments))):
+            raise Untranslatable(
+                f"{name}: segmentation disagrees with the closure "
+                f"translation in block {block.label}"
+            )
+
+        fallthrough_idx = (block_idx + 1 if block_idx + 1 < n_blocks
+                           else None)
+        lines: list[str] = [f"_e[{block_idx}] += 1"]
+        for seg_idx, (ops, n, call) in enumerate(segments):
+            lines.append(f"_s = st.steps + {n}")
+            lines.append("if _s > _fuel:")
+            lines.append(f"{_IND}st._replay_fuel_out({name!r}, "
+                         f"{block_idx}, {seg_idx}, {self._regs_list})")
+            lines.append("st.steps = _s")
+            last_seg = seg_idx == len(segments) - 1
+            for op_idx, instr in enumerate(ops):
+                if op_idx + 1 < len(ops):
+                    nxt: Instr | None = ops[op_idx + 1]
+                elif call is not None:
+                    nxt = call
+                elif last_seg and term_mode == TERM_INLINE:
+                    nxt = term_instr
+                else:
+                    nxt = None
+                lines += self._emit_op(instr, nxt)
+            if call is not None:
+                lines += self._emit_call(call)
+
+        if term_mode == TERM_NONE:
+            msg = f"fell off block {block.label} in {name}"
+            lines.append(f"raise _Trap({msg!r})")
+        else:
+            if term_mode == TERM_CHECKED:
+                lines.append("if st.steps >= _fuel:")
+                lines.append(f"{_IND}st._replay_fuel_out({name!r}, "
+                             f"{block_idx}, -1, {self._regs_list})")
+                lines.append("st.steps += 1")
+            lines += self._emit_terminator(term_instr, block_idx, labels,
+                                           fallthrough_idx)
+        if self._pending is not None:
+            raise Untranslatable(
+                f"{name}: fused value {self._pending[0]!r} was never "
+                f"consumed in block {block.label}"
+            )
+        return lines
+
+    def emit(self) -> str:
+        func = self.func
+        translated = self.translated
+        labels = translated.labels
+        by_label = {block.label: block for block in func.blocks}
+        try:
+            ordered = sorted(by_label.values(),
+                             key=lambda b: labels[b.label])
+        except KeyError as exc:
+            raise Untranslatable(
+                f"{func.name}: block {exc} missing from translation"
+            ) from exc
+        if len(ordered) != len(translated.blocks):
+            raise Untranslatable(f"{func.name}: block count mismatch")
+
+        order_note = ("profile-guided" if self.layout is not None
+                      else "source order")
+        head = [
+            "# generated by repro.interp.codegen — do not edit",
+            f"# function: {func.name}",
+            f"# mode: {'ideal' if self.ideal else 'machine'}"
+            f" | traits: {self.traits.name}"
+            f" | check_dummies: {self.check_dummies}"
+            f" | profiled: {self.profiled}",
+            f"# block order ({order_note}): "
+            + ", ".join(block.label for block in ordered),
+            "",
+            "def _f(st, args):",
+        ]
+        body: list[str] = []
+        arity_prefix = f"arity mismatch calling {func.name}: got "
+        body.append(f"if len(args) != {translated.n_params}:")
+        body.append(f"{_IND}raise _Trap({arity_prefix!r} + "
+                    f"str(len(args)) + \" args\")")
+        body.append("_depth = st.call_depth + 1")
+        body.append("if _depth > st.max_call_depth:")
+        body.append(f"{_IND}raise _overflow(st.max_call_depth)")
+        body.append("st.call_depth = _depth")
+        body.append("try:")
+
+        inner: list[str] = []
+        if translated.n_slots:
+            inner.append(" = ".join(
+                f"r{i}" for i in range(translated.n_slots)
+            ) + " = 0")
+        for index, (slot, is_float) in enumerate(translated.param_plan):
+            if is_float:
+                inner.append(f"r{slot} = float(args[{index}])")
+            else:
+                inner.append(f"r{slot} = int(args[{index}]) & _U64")
+        inner.append(f"_e = st._frame_entries({func.name!r}, "
+                     f"{len(ordered)})")
+        if self.profiled:
+            inner.append(f"_p = st._edge_profiles.setdefault("
+                         f"{func.name!r}, {{}})")
+        inner.append("_fuel = st.fuel")
+        opcodes_used = {instr.opcode
+                        for block in func.blocks
+                        for instr in _cut_block(block.instrs)}
+        if Opcode.CALL in opcodes_used:
+            inner.append("_F = st.program.functions")
+        if opcodes_used & {Opcode.NEWARRAY, Opcode.ALOAD, Opcode.ASTORE,
+                           Opcode.ARRAYLEN}:
+            inner.append("_heap = st.heap")
+        if opcodes_used & {Opcode.GLOAD, Opcode.GSTORE}:
+            inner.append("_glob = st.globals")
+        inner.append("_b = 0")
+        inner.append("while True:")
+        for block_idx, block in enumerate(ordered):
+            marker = " (entry)" if block_idx == 0 else ""
+            inner.append(f"{_IND}if _b == {block_idx}:"
+                         f"  # block {block.label}{marker}")
+            for line in self._emit_block(block, block_idx, labels,
+                                         len(ordered)):
+                inner.append(f"{_IND}{_IND}{line}")
+
+        body += [f"{_IND}{line}" for line in inner]
+        body.append("finally:")
+        body.append(f"{_IND}st.call_depth = _depth - 1")
+
+        return "\n".join(head + [f"{_IND}{line}" for line in body]) + "\n"
+
+
+def _load_ext_params(elem, ideal, traits):
+    # re-exported lazily to avoid a circular import at module load
+    from .translate import _load_ext_params as impl
+
+    return impl(elem, ideal, traits)
+
+
+# -- compilation and the content cache ----------------------------------------
+
+class GeneratedFunction:
+    """One function's generated source and its compiled callable.
+
+    ``fn(st, args)`` runs the frame; ``st`` is the executing
+    :class:`~repro.interp.engine.CodegenInterpreter`.  The callable is
+    content-pure (its globals hold only static helpers), so one object
+    is shared by every interpreter executing the same content.
+    """
+
+    __slots__ = ("name", "source", "filename", "fn", "fused")
+
+    def __init__(self, name, source, filename, fn, fused) -> None:
+        self.name = name
+        self.source = source
+        self.filename = filename
+        self.fn = fn
+        self.fused = fused
+
+
+def generate_source(func: Function, *, ideal: bool, traits: MachineTraits,
+                    check_dummies: bool = True,
+                    layout: tuple[str, ...] | None = None,
+                    profiled: bool = False) -> str:
+    """The annotated generated source for one function (debug surface;
+    ``repro ir --emit-python`` prints this)."""
+    layout = normalize_layout(func, layout)
+    translated = translate_function(func, ideal=ideal, traits=traits,
+                                    check_dummies=check_dummies,
+                                    layout=layout)
+    emitter = _Emitter(func, translated, ideal=ideal, traits=traits,
+                       check_dummies=check_dummies, profiled=profiled,
+                       layout=layout)
+    source = emitter.emit()
+    return source.replace(
+        "# generated by repro.interp.codegen — do not edit",
+        "# generated by repro.interp.codegen — do not edit\n"
+        f"# fused superinstructions: {emitter.fused}",
+        1,
+    )
+
+
+def compile_generated(func: Function, translated: TranslatedFunction, *,
+                      ideal: bool, traits: MachineTraits,
+                      check_dummies: bool, profiled: bool,
+                      layout: tuple[str, ...] | None,
+                      digest: str | None = None) -> GeneratedFunction:
+    """Emit, ``compile()``, and bind one function's generated code.
+
+    The synthetic filename is registered in :mod:`linecache`, so
+    tracebacks through generated frames show the generated lines.
+    Raises :class:`Untranslatable` when emission fails.
+    """
+    emitter = _Emitter(func, translated, ideal=ideal, traits=traits,
+                       check_dummies=check_dummies, profiled=profiled,
+                       layout=layout)
+    source = emitter.emit()
+    digest = digest if digest is not None else function_digest(func)
+    filename = (f"<repro-codegen:{func.name}:{digest[:12]}"
+                f"{'+prof' if profiled else ''}>")
+    try:
+        code = builtins.compile(source, filename, "exec")
+    except SyntaxError as exc:  # emitter bug: degrade, don't crash
+        raise Untranslatable(
+            f"{func.name}: generated source failed to compile: {exc}"
+        ) from exc
+    namespace = dict(_GEN_GLOBALS)
+    exec(code, namespace)
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(keepends=True), filename,
+    )
+    return GeneratedFunction(func.name, source, filename,
+                             namespace["_f"], emitter.fused)
+
+
+class CodegenCache:
+    """Content-addressed LRU cache of generated functions.
+
+    The key mirrors :class:`~repro.interp.translate.TranslationCache`
+    (IR digest, mode, traits, dummy checking, layout) plus the
+    ``profiled`` flag — profiled frames carry edge-recording code the
+    zero-overhead contract forbids in unprofiled runs.  Failed
+    emissions are negative-cached so fallback functions do not retry
+    per run.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, GeneratedFunction | None] = \
+            OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, digest: str, ideal: bool, traits: MachineTraits,
+             check_dummies: bool, layout, profiled: bool) -> tuple:
+        return (digest, ideal, _traits_key(traits), check_dummies,
+                layout, profiled)
+
+    def get_or_generate(self, func: Function,
+                        translated: TranslatedFunction, *, ideal: bool,
+                        traits: MachineTraits, check_dummies: bool = True,
+                        layout: tuple[str, ...] | None = None,
+                        profiled: bool = False
+                        ) -> GeneratedFunction | None:
+        layout = normalize_layout(func, layout)
+        digest = function_digest(func)
+        key = self._key(digest, ideal, traits, check_dummies, layout,
+                        profiled)
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+        try:
+            generated = compile_generated(
+                func, translated, ideal=ideal, traits=traits,
+                check_dummies=check_dummies, profiled=profiled,
+                layout=layout, digest=digest,
+            )
+        except Untranslatable:
+            generated = None
+        except Exception:  # emitter bug: degrade to the closure tier
+            generated = None
+        with self._lock:
+            self._entries[key] = generated
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return generated
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "translate.codegen.hits": self.hits,
+            "translate.codegen.misses": self.misses,
+            "translate.codegen.entries": len(self._entries),
+        }
+
+
+_DEFAULT_CODEGEN_CACHE = CodegenCache()
+
+
+def default_codegen_cache() -> CodegenCache:
+    """The process-wide cache shared by every CodegenInterpreter."""
+    return _DEFAULT_CODEGEN_CACHE

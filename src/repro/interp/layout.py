@@ -1,0 +1,149 @@
+"""Profile-guided block layout for the translated engines.
+
+Both the closure translator and the codegen tier emit a function's
+blocks in an *emission order* that defaults to source order.  Given an
+edge profile — ``{(src label, dst label): taken count}`` from a live
+:class:`~repro.analysis.frequency.BranchProfile` or a PR-6
+``*.profile.json`` artifact — :func:`order_blocks` computes an order
+that chains each block's hottest successor immediately after it, so
+
+* the codegen dispatch loop takes its fall-through path (no rescan of
+  the ``if _b == k`` chain) on the hot edge, and
+* hot blocks sit early in the chain, keeping the rescan after a
+  backward branch short.
+
+The layout is *advisory*: :func:`~repro.interp.translate.normalize_layout`
+drops stale labels and forces the entry block first, so a profile
+recorded against a different program revision degrades to source order
+instead of breaking translation.  Semantics never depend on the order —
+branch targets are index-resolved against whatever order was emitted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..ir.function import Function, Program
+from .translate import normalize_layout
+
+__all__ = [
+    "layout_from_branch_profiles",
+    "load_layout_profiles",
+    "order_blocks",
+    "program_layouts",
+]
+
+#: ``{function name: {(src label, dst label): taken count}}`` — the
+#: engine-facing shape of an edge profile, however it was collected.
+EdgeProfiles = "dict[str, dict[tuple[str, str], int]]"
+
+
+def order_blocks(func: Function,
+                 edge_counts: dict[tuple[str, str], int] | None,
+                 ) -> tuple[str, ...] | None:
+    """Greedy hot-path chaining of ``func``'s blocks.
+
+    Starting from the entry, repeatedly append the hottest not-yet-placed
+    successor of the last placed block; when the chain dies (no unplaced
+    successor was ever taken), restart it at the hottest unplaced block.
+    Ties and unobserved blocks break deterministically by source order.
+    Returns ``None`` when there is no profile or the result is source
+    order (the no-op case keeps translation-cache keys stable).
+    """
+    if not edge_counts:
+        return None
+    source_order = [block.label for block in func.blocks]
+    known = set(source_order)
+    position = {label: i for i, label in enumerate(source_order)}
+    successors: dict[str, dict[str, int]] = {}
+    incoming: dict[str, int] = {}
+    for (src, dst), count in edge_counts.items():
+        if src not in known or dst not in known or count <= 0:
+            continue
+        successors.setdefault(src, {})[dst] = (
+            successors.setdefault(src, {}).get(dst, 0) + count
+        )
+        incoming[dst] = incoming.get(dst, 0) + count
+
+    placed: list[str] = []
+    placed_set: set[str] = set()
+
+    def place(label: str) -> None:
+        placed.append(label)
+        placed_set.add(label)
+
+    def hottest_successor(label: str) -> str | None:
+        candidates = [
+            (count, position[dst], dst)
+            for dst, count in successors.get(label, {}).items()
+            if dst not in placed_set
+        ]
+        if not candidates:
+            return None
+        # hottest first; source order breaks count ties
+        candidates.sort(key=lambda item: (-item[0], item[1]))
+        return candidates[0][2]
+
+    place(source_order[0])
+    while len(placed) < len(source_order):
+        nxt = hottest_successor(placed[-1])
+        if nxt is None:
+            # chain died: restart at the hottest unplaced block
+            remaining = [label for label in source_order
+                         if label not in placed_set]
+            remaining.sort(
+                key=lambda label: (-incoming.get(label, 0), position[label])
+            )
+            nxt = remaining[0]
+        place(nxt)
+    return normalize_layout(func, tuple(placed))
+
+
+def program_layouts(program: Program,
+                    edge_profiles: dict[str, dict[tuple[str, str], int]],
+                    ) -> dict[str, tuple[str, ...]]:
+    """Per-function layouts for every profiled function of ``program``."""
+    layouts: dict[str, tuple[str, ...]] = {}
+    for name, func in program.functions.items():
+        layout = order_blocks(func, edge_profiles.get(name))
+        if layout is not None:
+            layouts[name] = layout
+    return layouts
+
+
+def layout_from_branch_profiles(profiles) -> dict[str, dict[tuple[str, str], int]]:
+    """Edge profiles from live :class:`BranchProfile` objects.
+
+    Accepts the ``{function name: BranchProfile}`` shape produced by
+    :func:`repro.interp.profiler.collect_branch_profiles` (and by
+    ``ExecutionProfile.branch_profiles()``).
+    """
+    return {
+        name: dict(profile.edge_counts)
+        for name, profile in profiles.items()
+        if profile.edge_counts
+    }
+
+
+def load_layout_profiles(path: str | Path) -> dict[str, dict[tuple[str, str], int]]:
+    """Edge profiles from PR-6 ``*.profile.json`` artifacts.
+
+    ``path`` may be one artifact or a directory of them; a directory's
+    artifacts are merged edge by edge (summing counts), which lets a
+    bench sweep's per-cell artifacts feed one layout.
+    """
+    from ..profile import load_profile
+
+    path = Path(path)
+    files = (sorted(path.glob("*.profile.json")) if path.is_dir()
+             else [path])
+    merged: dict[str, dict[tuple[str, str], int]] = {}
+    for file in files:
+        profile = load_profile(file)
+        for func in profile.functions:
+            if not func.edges:
+                continue
+            edges = merged.setdefault(func.name, {})
+            for key, count in func.edges.items():
+                edges[key] = edges.get(key, 0) + count
+    return merged

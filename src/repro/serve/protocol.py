@@ -29,7 +29,7 @@ VOLATILE_KEYS = frozenset({
     "cached", "coalesced", "timing_ms", "cache_key", "server",
 })
 
-_ENGINES = ("closure", "reference", "both")
+_ENGINES = ("closure", "reference", "codegen", "both")
 _ENDPOINTS = ("compile", "run", "bench", "profile")
 
 #: serving defaults; requests may lower but not raise the fuel budget

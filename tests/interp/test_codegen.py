@@ -1,0 +1,309 @@
+"""The codegen tier: generated source, fusion, layout, and its cache.
+
+Cross-engine bit-parity lives in ``test_engine_parity.py`` (every
+parity assertion there now covers codegen).  This file tests what is
+*specific* to the generated-code tier: the shape and debuggability of
+the emitted source, superinstruction fusion, fuel-segment replay,
+profile-guided layout equivalence, cache behaviour (hits, negative
+caching, shared function objects), and the per-function fallback.
+"""
+
+import linecache
+
+import pytest
+
+from repro.core import VARIANTS, compile_ir
+from repro.frontend import compile_source
+from repro.interp import (
+    CodegenCache,
+    create_interpreter,
+    generate_source,
+    order_blocks,
+)
+from repro.interp.codegen import compile_generated
+from repro.interp.engine import CodegenInterpreter
+from repro.interp.memory import SimError
+from repro.interp.profiler import collect_branch_profiles
+from repro.interp.translate import normalize_layout, translate_function
+from repro.machine import IA64
+from repro.workloads import get_workload
+
+FUEL = 250_000
+
+
+def _outcome(program, engine, **kwargs):
+    interp = create_interpreter(program, engine=engine, **kwargs)
+    try:
+        return ("ok", interp.run("main", ()))
+    except SimError as exc:
+        return (type(exc).__name__, str(exc))
+
+
+COUNTING = compile_source("""
+    int main() {
+        int acc = 0;
+        for (int i = 0; i < 50; i = i + 1) {
+            acc = acc + i * 3;
+        }
+        return acc;
+    }
+""", "counting")
+
+
+class TestGeneratedSource:
+    def test_source_shape(self):
+        func = COUNTING.function("main")
+        source = generate_source(func, ideal=True, traits=IA64)
+        assert "def _f(st, args):" in source
+        assert "while True:" in source
+        # registers are locals, not list subscripts
+        assert "regs[" not in source
+        # annotations for the debug dump
+        assert "# function: main" in source
+        assert "# block order" in source
+        assert "# fused superinstructions:" in source
+
+    def test_fusion_annotations_present(self):
+        func = COUNTING.function("main")
+        source = generate_source(func, ideal=True, traits=IA64)
+        assert "# fused into next:" in source
+
+    def test_mode_burned_in(self):
+        func = COUNTING.function("main")
+        ideal = generate_source(func, ideal=True, traits=IA64)
+        machine = generate_source(func, ideal=False, traits=IA64)
+        assert "# mode: ideal" in ideal
+        assert "# mode: machine" in machine
+        assert ideal != machine
+
+    def test_generated_frames_are_linecache_visible(self):
+        """Tracebacks out of generated code must show real lines."""
+        program = get_workload("huffman").program()
+        interp = create_interpreter(program, engine="codegen",
+                                    codegen_cache=CodegenCache())
+        generated = interp.codegen_cache._entries
+        assert generated, "nothing was generated"
+        entry = next(v for v in generated.values() if v is not None)
+        cached = linecache.cache.get(entry.filename)
+        assert cached is not None
+        assert "".join(cached[2]) == entry.source
+        assert entry.filename.startswith("<repro-codegen:")
+
+
+class TestFuelSegments:
+    """The generated fuel pre-checks replay exactly like the closure's."""
+
+    @pytest.mark.parametrize("fuel", list(range(0, 60)) + [500, 1234])
+    def test_fuel_sweep(self, fuel):
+        ref = _outcome(COUNTING, "reference", mode="ideal", fuel=fuel)
+        cg = _outcome(COUNTING, "codegen", mode="ideal", fuel=fuel)
+        assert cg == ref
+
+    @pytest.mark.parametrize("fuel", [1, 5, 17, 80, 333])
+    def test_fuel_sweep_with_calls(self, fuel):
+        program = compile_source("""
+            int add(int a, int b) { return a + b; }
+            int main() {
+                int acc = 0;
+                for (int i = 0; i < 40; i = i + 1) {
+                    acc = add(acc, i);
+                }
+                return acc;
+            }
+        """)
+        ref = _outcome(program, "reference", mode="machine", fuel=fuel)
+        cg = _outcome(program, "codegen", mode="machine", fuel=fuel)
+        assert cg == ref
+
+    def test_trap_beats_fuel_in_replayed_segment(self):
+        """An op replayed by the fuel-out path may trap first; the trap
+        must win, exactly as in the reference."""
+        program = compile_source("""
+            int main() {
+                int a = 7;
+                int b = 0;
+                return a / b;
+            }
+        """)
+        for fuel in range(0, 8):
+            ref = _outcome(program, "reference", mode="ideal", fuel=fuel)
+            cg = _outcome(program, "codegen", mode="ideal", fuel=fuel)
+            assert cg == ref
+
+
+class TestProfileGuidedLayout:
+    def test_layout_changes_emission_order_not_results(self):
+        program = get_workload("huffman").program()
+        profiles = collect_branch_profiles(program, fuel=FUEL)
+        layouts = {
+            name: dict(profile.edge_counts)
+            for name, profile in profiles.items() if profile.edge_counts
+        }
+        plain = _outcome(program, "codegen", mode="ideal", fuel=FUEL)
+        guided = _outcome(program, "codegen", mode="ideal", fuel=FUEL,
+                          layout_profiles=layouts)
+        closure_guided = _outcome(program, "closure", mode="ideal",
+                                  fuel=FUEL, layout_profiles=layouts)
+        assert plain == guided == closure_guided
+
+    def test_order_blocks_moves_hot_successor(self):
+        program = compile_source("""
+            int main() {
+                int acc = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { acc = acc + 1; }
+                    else { acc = acc + 2; }
+                }
+                return acc;
+            }
+        """)
+        func = program.function("main")
+        labels = [block.label for block in func.blocks]
+        # fake profile: the last block is the hottest successor of entry
+        layout = order_blocks(func, {(labels[0], labels[-1]): 100})
+        assert layout is not None
+        assert layout[0] == labels[0]
+        assert layout[1] == labels[-1]
+
+    def test_stale_profile_degrades_to_source_order(self):
+        func = COUNTING.function("main")
+        layout = order_blocks(func, {("nope", "missing"): 50})
+        assert layout is None
+        assert normalize_layout(func, ("nope", "missing")) is None
+
+    def test_layout_annotated_in_source(self):
+        program = get_workload("huffman").program()
+        profiles = collect_branch_profiles(program, fuel=FUEL)
+        name, profile = next(
+            (n, p) for n, p in profiles.items() if p.edge_counts
+        )
+        func = program.function(name)
+        layout = order_blocks(func, dict(profile.edge_counts))
+        source = generate_source(func, ideal=True, traits=IA64,
+                                 layout=layout)
+        if layout is not None:
+            assert "profile-guided" in source
+        else:
+            assert "source order" in source
+
+
+class TestCodegenCache:
+    def test_cache_hits_across_interpreters(self):
+        cache = CodegenCache()
+        program = COUNTING
+        create_interpreter(program, engine="codegen", codegen_cache=cache)
+        misses = cache.misses
+        assert misses > 0 and cache.hits == 0
+        create_interpreter(program, engine="codegen", codegen_cache=cache)
+        assert cache.misses == misses
+        assert cache.hits == misses
+
+    def test_shared_function_objects(self):
+        """Content-pure generated code: one compiled object per content."""
+        cache = CodegenCache()
+        a = create_interpreter(COUNTING, engine="codegen",
+                               codegen_cache=cache)
+        b = create_interpreter(COUNTING, engine="codegen",
+                               codegen_cache=cache)
+        assert a._generated["main"] is b._generated["main"]
+        assert a.run("main", ()) == b.run("main", ())
+
+    def test_profiled_entries_are_distinct(self):
+        """Profiled frames carry edge-recording code, so the cache must
+        not serve an unprofiled entry to a profiling interpreter."""
+        cache = CodegenCache()
+        create_interpreter(COUNTING, engine="codegen", codegen_cache=cache)
+        create_interpreter(COUNTING, engine="codegen", codegen_cache=cache,
+                           collect_profile=True)
+        assert cache.hits == 0
+        assert len(cache._entries) == 2 * len(COUNTING.functions)
+
+    def test_stats_keys(self):
+        stats = CodegenCache().stats()
+        assert set(stats) == {"translate.codegen.hits",
+                              "translate.codegen.misses",
+                              "translate.codegen.entries"}
+
+    def test_negative_caching(self, monkeypatch):
+        """A function the emitter rejects is cached as None — the
+        fallback is not retried on the next interpreter."""
+        from repro.interp import codegen as codegen_mod
+
+        cache = CodegenCache()
+
+        def boom(*args, **kwargs):
+            raise codegen_mod.Untranslatable("forced")
+
+        monkeypatch.setattr(codegen_mod, "compile_generated", boom)
+        monkeypatch.setattr("repro.interp.codegen.CodegenCache"
+                            ".get_or_generate",
+                            CodegenCache.get_or_generate)
+        interp = create_interpreter(COUNTING, engine="codegen",
+                                    codegen_cache=cache)
+        assert interp.generated_functions == 0
+        assert interp.codegen_fallback_functions == len(COUNTING.functions)
+        misses = cache.misses
+        # negative entries now serve as hits; no recompilation attempt
+        interp2 = create_interpreter(COUNTING, engine="codegen",
+                                     codegen_cache=cache)
+        assert cache.misses == misses
+        assert interp2.codegen_fallback_functions == len(COUNTING.functions)
+        # and the engine still runs correctly through the closure tier
+        assert interp2.run("main", ()).ret_value == \
+            _outcome(COUNTING, "reference", mode="ideal")[1].ret_value
+
+    def test_lru_eviction(self):
+        cache = CodegenCache(capacity=1)
+        program = compile_source(
+            "int main() { return 1; } int other() { return 2; }"
+        )
+        create_interpreter(program, engine="codegen", codegen_cache=cache)
+        assert len(cache._entries) == 1
+
+
+class TestFallback:
+    def test_untranslatable_function_uses_closure_tier(self):
+        """A function the closure translator rejects never reaches the
+        emitter; one the emitter rejects keeps the closure tier.  Either
+        way results are bit-identical."""
+        program = get_workload("huffman").program()
+        cache = CodegenCache()
+        interp = create_interpreter(program, engine="codegen",
+                                    codegen_cache=cache)
+        assert isinstance(interp, CodegenInterpreter)
+        assert interp.generated_functions == len(interp._translated)
+
+    def test_compile_generated_matches_translation(self):
+        """compile_generated refuses a translation whose segmentation
+        does not describe the function it was handed."""
+        from repro.interp.translate import Untranslatable
+
+        main = COUNTING.function("main")
+        other_program = compile_source("""
+            int f(int x) { return x + 1; }
+            int main() { return f(1) + f(2); }
+        """)
+        mismatched = translate_function(
+            other_program.function("main"), ideal=True, traits=IA64
+        )
+        with pytest.raises(Untranslatable):
+            compile_generated(main, mismatched, ideal=True, traits=IA64,
+                              check_dummies=True, profiled=False,
+                              layout=None)
+
+
+class TestCompiledGridParity:
+    """Codegen across the compiled variant grid (both machines is
+    covered by test_engine_parity's grid, which is three-way now)."""
+
+    @pytest.mark.parametrize("variant", ["baseline", "new algorithm (all)"])
+    def test_bitfield_grid(self, variant):
+        program = get_workload("bitfield").program()
+        profiles = collect_branch_profiles(program, fuel=FUEL)
+        compiled = compile_ir(program,
+                              VARIANTS[variant].with_traits(IA64), profiles)
+        ref = _outcome(compiled.program, "reference", mode="machine",
+                       traits=IA64, fuel=FUEL)
+        cg = _outcome(compiled.program, "codegen", mode="machine",
+                      traits=IA64, fuel=FUEL)
+        assert cg == ref

@@ -1,13 +1,14 @@
-"""Engine parity: the closure engine must be bit-identical everywhere.
+"""Engine parity: the translated engines must be bit-identical everywhere.
 
 Every registry workload, a compiled-variant grid over both machine
 models, a 50-seed generated-program batch, and a set of crafted trap
-programs all run through both engines.  Successful runs must produce
-equal ``ExecResult`` values (checksum, return value, steps, site/
-opcode/extend counts, branch profiles); failed runs must raise the same
-exception type with the same message.  Step counts of failed runs are
-deliberately not compared — the closure engine only tracks fuel at
-segment granularity on exception paths (see docs/INTERPRETER.md).
+programs all run through all three engines (reference, closure,
+codegen).  Successful runs must produce equal ``ExecResult`` values
+(checksum, return value, steps, site/opcode/extend counts, branch
+profiles); failed runs must raise the same exception type with the
+same message.  Step counts of failed runs are deliberately not
+compared — the translated engines only track fuel at segment
+granularity on exception paths (see docs/INTERPRETER.md).
 """
 
 import pytest
@@ -42,7 +43,9 @@ def _outcome(program, engine, func="main", args=(), **kwargs):
 def assert_parity(program, func="main", args=(), **kwargs):
     reference = _outcome(program, "reference", func, args, **kwargs)
     closure = _outcome(program, "closure", func, args, **kwargs)
+    codegen = _outcome(program, "codegen", func, args, **kwargs)
     assert closure == reference
+    assert codegen == reference
 
 
 class TestWorkloadParity:
@@ -67,9 +70,9 @@ class TestWorkloadParity:
         program = get_workload(workload_name).program()
         by_engine = [
             collect_branch_profiles(program, fuel=FUEL, engine=engine)
-            for engine in ("reference", "closure", "both")
+            for engine in ("reference", "closure", "codegen", "both")
         ]
-        assert by_engine[0] == by_engine[1] == by_engine[2]
+        assert all(b == by_engine[0] for b in by_engine[1:])
 
 
 class TestZeroOverheadContract:
@@ -96,7 +99,8 @@ class TestZeroOverheadContract:
         names = tuple(f.name for f in dataclasses.fields(ExecResult))
         assert names == self.SEED_FIELDS
 
-    @pytest.mark.parametrize("engine", ["reference", "closure"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "closure", "codegen"])
     def test_unprofiled_run_collects_no_entries(self, engine):
         from repro.workloads import get_workload
 
@@ -106,7 +110,8 @@ class TestZeroOverheadContract:
         interp.run()
         assert interp.block_entries == {}
 
-    @pytest.mark.parametrize("engine", ["reference", "closure"])
+    @pytest.mark.parametrize("engine",
+                             ["reference", "closure", "codegen"])
     def test_profiling_changes_only_profiles(self, engine):
         """Every pre-existing field is identical with profiling on."""
         from repro.workloads import get_workload
@@ -126,12 +131,12 @@ class TestZeroOverheadContract:
         assert not plain.profiles and profiled.profiles
 
     def test_engine_native_counters_agree(self):
-        """The two engines' own per-block counters are identical."""
+        """All engines' own per-block counters are identical."""
         from repro.workloads import get_workload
 
         program = get_workload("huffman").program()
         counters = []
-        for engine in ("reference", "closure"):
+        for engine in ("reference", "closure", "codegen"):
             interp = create_interpreter(program, engine=engine,
                                         mode="ideal", fuel=FUEL,
                                         collect_profile=True)
@@ -140,7 +145,7 @@ class TestZeroOverheadContract:
                 name: dict(blocks)
                 for name, blocks in interp.block_entries.items() if blocks
             })
-        assert counters[0] == counters[1]
+        assert counters[0] == counters[1] == counters[2]
 
 
 class TestCompiledVariantParity:
