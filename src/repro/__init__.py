@@ -31,7 +31,7 @@ points; they still work but raise :class:`DeprecationWarning` (see
 docs/API.md for the deprecation policy).
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .api import (  # noqa: E402
     CampaignConfig,

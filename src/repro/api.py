@@ -115,6 +115,7 @@ def compile(
     config: SignExtConfig | None = None,
     profiles: dict[str, BranchProfile] | None = None,
     driver: BatchCompiler | None = None,
+    trace_id: str | None = None,
 ) -> CompileResult:
     """Compile ``source`` and return the optimized program + statistics.
 
@@ -125,6 +126,9 @@ def compile(
     :class:`BatchCompiler` — long-lived services (``repro serve``)
     mount one driver so every request shares a single
     :class:`CompileCache` instead of re-opening it per call.
+    ``trace_id`` is the request correlation token those services mint;
+    it labels any telemetry this compilation produces and never affects
+    the compilation itself.
     """
     options = options if options is not None else CompileOptions()
     program = _coerce_program(source)
@@ -137,6 +141,7 @@ def compile(
             config=cfg,
             profiles=profiles,
             collect_telemetry=options.telemetry,
+            trace_id=trace_id,
         ))
     if options.cache or options.jobs > 1:
         with driver_from_options(options) as owned:
@@ -146,6 +151,7 @@ def compile(
                 config=cfg,
                 profiles=profiles,
                 collect_telemetry=options.telemetry,
+                trace_id=trace_id,
             ))
     telemetry = Telemetry(label=program.name) if options.telemetry else None
     return compile_ir(program, cfg, profiles, clone=options.clone,
@@ -177,13 +183,15 @@ def run(
     *,
     config: SignExtConfig | None = None,
     driver: BatchCompiler | None = None,
+    trace_id: str | None = None,
 ) -> RunResult:
     """Compile ``source``, execute it, and verify observable behaviour.
 
     Raises :class:`~repro.harness.SoundnessError` if the optimized
     program's observable behaviour diverges from the unoptimized gold
     run.  ``driver`` routes the compile through a caller-owned
-    :class:`BatchCompiler` (see :func:`compile`).
+    :class:`BatchCompiler`, and ``trace_id`` labels request-scoped
+    telemetry (see :func:`compile`).
     """
     options = options if options is not None else CompileOptions()
     program = _coerce_program(source)
@@ -191,7 +199,8 @@ def run(
 
     gold = execute(program, engine=options.engine, mode="ideal",
                    fuel=options.fuel)
-    compiled = compile(program, options, config=config, driver=driver)
+    compiled = compile(program, options, config=config, driver=driver,
+                       trace_id=trace_id)
     metrics = (compiled.telemetry.metrics
                if compiled.telemetry is not None else None)
     run_kwargs: dict = {}

@@ -555,6 +555,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
         fuel=args.fuel,
+        flight_capacity=args.flight_capacity,
+        flight_dir=args.flight_dir,
+        log_path=args.log,
+        slo_window_s=args.slo_window,
+        slo_target_p95_ms=args.slo_p95_ms,
+        slo_target_error_rate=args.slo_error_rate,
+        debug_hooks=args.debug_hooks,
     )
 
     async def _serve() -> None:
@@ -564,7 +571,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"(workers={config.workers}, "
               f"queue_limit={config.queue_limit})")
         print("endpoints : POST /v1/compile /v1/run /v1/bench "
-              "/v1/profile; GET /healthz /metricsz")
+              "/v1/profile; GET /healthz /metricsz /debugz")
+        print(f"fingerprint: {server.config_fingerprint}")
         try:
             await server.serve_forever()
         finally:
@@ -603,6 +611,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         fuel=args.fuel,
         seed=args.seed,
         verify=not args.no_verify,
+        trace_path=args.trace,
     )
     spawned = None
     if args.spawn:
@@ -634,6 +643,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     if config.verify:
         print(f"verified  : {report.verified} run responses bit-identical "
               "to local execution")
+    if config.trace_path:
+        print(f"traced    : {len(report.trace_ids)} requests, "
+              f"{report.correlated} correlated with server spans — "
+              f"Chrome trace at {config.trace_path}")
     for mismatch in report.mismatches:
         print(f"MISMATCH  : {mismatch}", file=sys.stderr)
     if args.json:
@@ -650,6 +663,19 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"[latency recorded to perf history "
               f"{recorder.store.path} — see `repro perf report`]")
     return 0 if report.ok else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running server."""
+    from .serve.top import TopConfig, run_top
+
+    config = TopConfig(
+        url=args.url,
+        interval=args.interval,
+        rows=args.rows,
+        timeout=args.timeout,
+    )
+    return run_top(config, once=args.once, as_json=args.as_json)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -946,6 +972,29 @@ def main(argv: list[str] | None = None) -> int:
                                    "$REPRO_CACHE_MAX_BYTES)")
     serve_parser.add_argument("--fuel", type=int, default=100_000_000,
                               help="default interpreter step budget")
+    serve_parser.add_argument("--flight-capacity", type=int, default=256,
+                              metavar="N",
+                              help="flight-recorder ring size (recent "
+                                   "requests kept for /debugz)")
+    serve_parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                              help="write a JSONL flight dump here on "
+                                   "every 5xx (default: no artifacts)")
+    serve_parser.add_argument("--log", default=None, metavar="FILE",
+                              help="structured JSONL access/event log "
+                                   "with size-based rotation")
+    serve_parser.add_argument("--slo-window", type=float, default=300.0,
+                              metavar="SEC",
+                              help="rolling SLO window length")
+    serve_parser.add_argument("--slo-p95-ms", type=float, default=500.0,
+                              metavar="MS",
+                              help="windowed p95 latency target")
+    serve_parser.add_argument("--slo-error-rate", type=float, default=0.01,
+                              metavar="RATE",
+                              help="windowed error-rate budget "
+                                   "(0.01 = 99%% success)")
+    serve_parser.add_argument("--debug-hooks", action="store_true",
+                              help="honour client fault-injection fields "
+                                   "(tests/CI only)")
     serve_parser.set_defaults(fn=cmd_serve)
 
     loadtest_parser = subparsers.add_parser(
@@ -988,12 +1037,37 @@ def main(argv: list[str] | None = None) -> int:
                                  help="queue limit of a --spawn server")
     loadtest_parser.add_argument("--json", default=None, metavar="OUT.JSON",
                                  help="write the full report here")
+    loadtest_parser.add_argument("--trace", default=None,
+                                 metavar="OUT.JSON",
+                                 help="export a merged client+server "
+                                      "Chrome trace correlated on "
+                                      "X-Repro-Trace-Id")
     loadtest_parser.add_argument("--history", default=None, metavar="DIR",
                                  help="record latency percentiles to this "
                                       "perf history (also $REPRO_PERF_DIR)")
     _common_args(loadtest_parser)
     _engine_arg(loadtest_parser)
     loadtest_parser.set_defaults(fn=cmd_loadtest)
+
+    top_parser = subparsers.add_parser(
+        "top", help="live dashboard over a running repro serve: "
+                    "throughput, latency, SLO burn, hottest requests "
+                    "(docs/OBSERVABILITY.md)"
+    )
+    top_parser.add_argument("--url", default="http://127.0.0.1:8787",
+                            help="server base URL")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            metavar="SEC", help="refresh interval")
+    top_parser.add_argument("--rows", type=int, default=8, metavar="N",
+                            help="hottest-request rows shown")
+    top_parser.add_argument("--timeout", type=float, default=10.0,
+                            metavar="SEC", help="per-poll request timeout")
+    top_parser.add_argument("--once", action="store_true",
+                            help="sample once and exit")
+    top_parser.add_argument("--json", dest="as_json", action="store_true",
+                            help="with --once: print the sample as JSON "
+                                 "(scripting mode)")
+    top_parser.set_defaults(fn=cmd_top)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect, trim, or clear the on-disk compile cache"

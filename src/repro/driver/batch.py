@@ -43,6 +43,10 @@ class CompileJob:
 
     ``program_fingerprint`` optionally carries a precomputed IR digest
     (the harness hashes each workload once for its twelve variants).
+    ``trace_id`` is the request-scoped correlation token minted by the
+    serving layer; it labels any worker-side telemetry so the span
+    forest that travels back over the pipe stays attributable to the
+    originating request (it never affects compilation or cache keys).
     ``simulate_crash``/``simulate_delay`` are test hooks honoured only
     inside pool workers — never in-process — so the fallback paths can
     be exercised deterministically.
@@ -54,6 +58,7 @@ class CompileJob:
     profiles: dict[str, BranchProfile] | None = None
     collect_telemetry: bool = False
     program_fingerprint: str | None = None
+    trace_id: str | None = None
     simulate_crash: bool = field(default=False, repr=False)
     simulate_delay: float = field(default=0.0, repr=False)
 
@@ -64,7 +69,8 @@ def _compile_job_in_worker(job: CompileJob) -> CompileResult:
         os._exit(13)
     if job.simulate_delay:
         time.sleep(job.simulate_delay)
-    telemetry = Telemetry(label=job.label) if job.collect_telemetry else None
+    telemetry = Telemetry(label=job.trace_id or job.label) \
+        if job.collect_telemetry else None
     # The job arrived over a pickle boundary, so this process owns the
     # program outright — no defensive clone needed.
     return compile_ir(job.program, job.config, job.profiles,
@@ -195,7 +201,7 @@ class BatchCompiler:
     def _compile_inline(self, job: CompileJob) -> CompileResult:
         """Serial / fallback path; ignores the worker-only test hooks."""
         self.metrics.counter("driver.pool.compiled", mode="inline").inc()
-        telemetry = (Telemetry(label=job.label)
+        telemetry = (Telemetry(label=job.trace_id or job.label)
                      if job.collect_telemetry else None)
         return compile_ir(job.program, job.config, job.profiles,
                           clone=True, telemetry=telemetry)

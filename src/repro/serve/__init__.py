@@ -7,8 +7,15 @@ compile cache's content fingerprints; ``repro loadtest`` drives it with
 seeded open- or closed-loop workload mixes and verifies every served
 run bit-identical to a local ``repro.api.run``.  docs/SERVING.md is the
 protocol reference.
+
+The runtime observability layer rides on top (docs/OBSERVABILITY.md):
+request-scoped tracing correlated on ``X-Repro-Trace-Id``, the
+:class:`FlightRecorder` ring behind ``/debugz``, rolling-window SLO
+tracking on ``/healthz``, Prometheus text exposition on ``/metricsz``,
+and the ``repro top`` live dashboard.
 """
 
+from .flight import FlightRecorder, RequestRecord
 from .loadtest import (
     BUILTIN_SOURCES,
     Loadtest,
@@ -28,17 +35,26 @@ from .protocol import (
     strip_volatile,
 )
 from .server import ReproServer, ServerConfig, ServerThread
+from .slo import SloConfig, SloTracker
+from .top import TopClient, TopConfig, TopSample
 
 __all__ = [
     "BUILTIN_SOURCES",
+    "FlightRecorder",
     "Loadtest",
     "LoadtestConfig",
     "LoadtestReport",
     "ProtocolError",
     "ReproServer",
+    "RequestRecord",
     "ServeRequest",
     "ServerConfig",
     "ServerThread",
+    "SloConfig",
+    "SloTracker",
+    "TopClient",
+    "TopConfig",
+    "TopSample",
     "VOLATILE_KEYS",
     "bench_response",
     "compile_response",

@@ -1,0 +1,143 @@
+"""The flight recorder: a bounded ring of recent per-request records.
+
+``/metricsz`` answers "how is the service doing"; the flight recorder
+answers "what just happened".  Every request the server finishes —
+success, shed, or failure — leaves one :class:`RequestRecord` in a
+bounded ring buffer (oldest evicted first), carrying everything a
+post-mortem needs: trace id, endpoint, status, per-stage timings from
+the request's span tree, cache/coalesce disposition, and the error
+message when there was one.
+
+Two consumers:
+
+* ``/debugz`` serves the ring as JSON (filterable by trace id and
+  status class) — the data source for ``repro top``'s hottest-requests
+  panel and for the load-test client's client/server span correlation;
+* on any 5xx the *entire* ring is dumped to a JSONL artifact under
+  ``dump_dir`` (``flight-<trace_id>.jsonl``), so the moments leading
+  up to a failure survive the process.
+
+Everything is O(1) per request and lock-guarded: records arrive from
+the event loop, readers may be CLI threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class RequestRecord:
+    """One finished request, as the flight recorder remembers it."""
+
+    trace_id: str
+    endpoint: str
+    method: str
+    status: int
+    #: wall-clock admission time (unix seconds) — for humans; ordering
+    #: within the ring comes from the monotonic ``seq``
+    started_unix: float
+    duration_ms: float
+    #: span name -> duration_ms for the serve-side stages
+    #: (admission/parse/coalesce/execute and the merged worker forest)
+    stages: dict[str, float] = field(default_factory=dict)
+    cached: bool | None = None
+    coalesced: bool | None = None
+    error: str | None = None
+    #: the request's full span forest (Tracer.to_dict rendering)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    seq: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "method": self.method,
+            "status": self.status,
+            "started_unix": round(self.started_unix, 6),
+            "duration_ms": round(self.duration_ms, 3),
+            "stages": {name: round(ms, 3)
+                       for name, ms in self.stages.items()},
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "error": self.error,
+            "spans": self.spans,
+        }
+
+
+class FlightRecorder:
+    """Ring buffer of :class:`RequestRecord` + 5xx dump artifacts."""
+
+    def __init__(self, capacity: int = 256,
+                 dump_dir: str | Path | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._ring: deque[RequestRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.recorded = 0
+        self.dumps_written = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, record: RequestRecord) -> Path | None:
+        """Add one record; returns the dump path when one was written."""
+        with self._lock:
+            self._seq += 1
+            record.seq = self._seq
+            self._ring.append(record)
+            self.recorded += 1
+            if record.status >= 500 and self.dump_dir is not None:
+                return self._dump(record)
+        return None
+
+    def _dump(self, trigger: RequestRecord) -> Path:
+        """Write the whole ring, oldest first, as one JSONL artifact.
+
+        Called under the lock.  The artifact is named after the
+        triggering request's trace id so a 500's server logs, error
+        payload, and dump all correlate on the same token.
+        """
+        self.dump_dir.mkdir(parents=True, exist_ok=True)
+        path = self.dump_dir / (
+            f"flight-{trigger.seq:08d}-{trigger.trace_id}.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._ring:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True)
+                             + "\n")
+        self.dumps_written += 1
+        return path
+
+    # -- queries -------------------------------------------------------------
+
+    def snapshot(self, *, limit: int | None = None,
+                 trace_id: str | None = None,
+                 min_status: int | None = None) -> list[dict[str, Any]]:
+        """Recent records, newest first, optionally filtered."""
+        with self._lock:
+            records = list(self._ring)
+        records.reverse()
+        if trace_id is not None:
+            records = [r for r in records if r.trace_id == trace_id]
+        if min_status is not None:
+            records = [r for r in records if r.status >= min_status]
+        if limit is not None:
+            records = records[:max(limit, 0)]
+        return [r.to_dict() for r in records]
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._ring),
+                "recorded": self.recorded,
+                "dumps_written": self.dumps_written,
+            }

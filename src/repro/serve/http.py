@@ -133,6 +133,9 @@ class Response:
     content_type: str = "application/json"
     headers: list[tuple[str, str]] = field(default_factory=list)
     keep_alive: bool = True
+    #: error classification for the ``serve.errors{kind}`` counter;
+    #: not rendered on the wire
+    error_kind: str | None = None
 
     def to_bytes(self) -> bytes:
         if self.body is not None:
@@ -154,10 +157,14 @@ class Response:
 
 def error_response(status: int, message: str, *,
                    keep_alive: bool = True,
-                   headers: list[tuple[str, str]] | None = None) -> Response:
+                   headers: list[tuple[str, str]] | None = None,
+                   kind: str | None = None) -> Response:
+    """An error answer; ``kind`` labels it in ``serve.errors{kind}``
+    (defaulting to the status class when unset)."""
     return Response(
         status=status,
         payload={"error": message, "status": status},
         headers=headers or [],
         keep_alive=keep_alive,
+        error_kind=kind,
     )

@@ -21,6 +21,13 @@ The client answers three questions about a running ``repro serve``
   ``repro perf report`` renders the serving-latency section next to
   the compiler's own history.
 
+Every request also carries a client-minted trace id in the
+``X-Repro-Trace-Id`` header.  The server honours it (docs/
+OBSERVABILITY.md), so with ``trace_path`` set the client afterwards
+pulls the matching server-side span forests from ``/debugz`` and merges
+them — client span, serve stages, and worker spans — into one Chrome
+trace correlated end to end on the same ids.
+
 The run is deterministic for a given ``seed`` in everything the client
 controls: the op sequence and payloads derive from ``random.Random(seed)``;
 only timings and server-side dispositions (cache, coalescing) vary.
@@ -31,9 +38,11 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..telemetry import Tracer
 from .protocol import run_response, strip_volatile
 
 #: tiny J32 kernels the default mix compiles and runs; distinct shapes
@@ -92,6 +101,10 @@ class LoadtestConfig:
     verify: bool = True
     #: per-request timeout, seconds
     timeout: float = 60.0
+    #: write a merged client+server Chrome trace here (None = don't)
+    trace_path: str | None = None
+    #: how many request trace ids to correlate against ``/debugz``
+    trace_samples: int = 5
 
 
 @dataclass
@@ -111,6 +124,11 @@ class LoadtestReport:
     #: all request latencies, milliseconds, completion order
     latencies_ms: list[float] = field(default_factory=list)
     by_status: dict[int, int] = field(default_factory=dict)
+    #: trace id of every completed (2xx) request, completion order
+    trace_ids: list[str] = field(default_factory=list)
+    #: trace ids whose server-side span forest was fetched and merged
+    correlated: int = 0
+    trace_path: str | None = None
 
     def percentile(self, q: float) -> float:
         """Exact nearest-rank percentile of the observed latencies."""
@@ -150,6 +168,9 @@ class LoadtestReport:
             },
             "by_status": {str(s): c
                           for s, c in sorted(self.by_status.items())},
+            "traced": len(self.trace_ids),
+            "correlated": self.correlated,
+            "trace_path": self.trace_path,
         }
 
 
@@ -161,17 +182,22 @@ def _parse_url(url: str) -> tuple[str, int]:
 
 async def _http_request(host: str, port: int, method: str, path: str,
                         body: bytes = b"",
-                        timeout: float = 60.0) -> tuple[int, dict]:
+                        timeout: float = 60.0,
+                        headers: dict[str, str] | None = None,
+                        ) -> tuple[int, dict]:
     """One connection, one request; returns (status, parsed JSON)."""
 
     async def _talk() -> tuple[int, dict]:
         reader, writer = await asyncio.open_connection(host, port)
         try:
+            extra = "".join(f"{name}: {value}\r\n"
+                            for name, value in (headers or {}).items())
             head = (
                 f"{method} {path} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n"
             ).encode("latin-1")
             writer.write(head + body)
@@ -206,6 +232,8 @@ class Loadtest:
         self.host, self.port = _parse_url(self.config.url)
         #: request-body JSON string -> locally computed expected response
         self._expected: dict[str, dict] = {}
+        #: campaign-wide tracer all per-request spans merge into
+        self.tracer = Tracer(process_name="loadtest")
 
     # -- request planning ----------------------------------------------------
 
@@ -252,15 +280,28 @@ class Loadtest:
                     report: LoadtestReport) -> None:
         cfg = self.config
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # The client mints the trace id and the server honours it, so
+        # both sides of the wire agree on the token before the first
+        # byte is sent; concurrent requests each get their own tracer
+        # (the span stack is per-request) merged into the campaign's.
+        trace_id = f"lt-{uuid.uuid4().hex[:16]}"
+        request_tracer = Tracer(process_name=f"client:{trace_id}")
         started = time.monotonic()
         try:
-            status, answer = await _http_request(
-                self.host, self.port, "POST", f"/v1/{endpoint}", body,
-                timeout=cfg.timeout)
+            with request_tracer.span(f"request:{endpoint}",
+                                     category="client",
+                                     trace_id=trace_id) as span:
+                status, answer = await _http_request(
+                    self.host, self.port, "POST", f"/v1/{endpoint}", body,
+                    timeout=cfg.timeout,
+                    headers={"X-Repro-Trace-Id": trace_id})
+                span.annotate(status=status)
         except Exception as exc:
             report.errors += 1
             report.mismatches.append(f"{endpoint}: transport error: {exc}")
             return
+        finally:
+            self.tracer.merge(request_tracer)
         elapsed_ms = (time.monotonic() - started) * 1000
         report.latencies_ms.append(elapsed_ms)
         report.by_status[status] = report.by_status.get(status, 0) + 1
@@ -273,6 +314,7 @@ class Loadtest:
                 f"{endpoint}: HTTP {status}: {answer.get('error')}")
             return
         report.completed += 1
+        report.trace_ids.append(trace_id)
         if cfg.verify and endpoint == "run":
             served = strip_volatile(answer)
             expected = await asyncio.get_running_loop().run_in_executor(
@@ -326,6 +368,40 @@ class Loadtest:
         return sum(value for name, value in counters.items()
                    if name == family or name.startswith(family + "{"))
 
+    async def _correlate(self, report: LoadtestReport) -> None:
+        """Merge server-side span forests for sampled trace ids.
+
+        For up to ``trace_samples`` completed requests, fetch the
+        flight-recorder record from ``/debugz?trace=<id>``, rebuild its
+        span forest with :meth:`Tracer.from_dict`, and merge it into
+        the campaign tracer.  The merged forest already contains the
+        worker-thread spans the server folded in, so the exported trace
+        shows client, serve-stage, and worker timelines per request.
+        """
+        for trace_id in report.trace_ids[:self.config.trace_samples]:
+            try:
+                status, document = await _http_request(
+                    self.host, self.port, "GET",
+                    f"/debugz?trace={trace_id}&limit=1",
+                    timeout=self.config.timeout)
+            except Exception:
+                continue
+            if status != 200:
+                continue
+            records = document.get("records") or []
+            spans = records[0].get("spans") if records else None
+            if not spans:
+                continue
+            self.tracer.merge(
+                Tracer.from_dict(spans, process_name=f"server:{trace_id}"))
+            report.correlated += 1
+
+    def write_trace(self, path: str) -> None:
+        """Export the merged campaign trace as Chrome trace JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.tracer.dumps())
+            handle.write("\n")
+
     async def run_async(self) -> LoadtestReport:
         cfg = self.config
         report = LoadtestReport(mode=cfg.mode, offered=cfg.requests)
@@ -339,6 +415,10 @@ class Loadtest:
         report.wall_seconds = time.monotonic() - started
         report.coalesced = (await self._metric_total("serve.coalesced")
                             - before_coalesced)
+        if cfg.trace_path:
+            await self._correlate(report)
+            self.write_trace(cfg.trace_path)
+            report.trace_path = cfg.trace_path
         return report
 
     def run(self) -> LoadtestReport:

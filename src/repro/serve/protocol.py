@@ -26,7 +26,7 @@ from ..machine import MACHINES
 
 #: response keys that may differ between a served and a local run
 VOLATILE_KEYS = frozenset({
-    "cached", "coalesced", "timing_ms", "cache_key", "server",
+    "cached", "coalesced", "timing_ms", "cache_key", "server", "trace_id",
 })
 
 _ENGINES = ("closure", "reference", "codegen", "both")

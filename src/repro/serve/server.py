@@ -19,6 +19,24 @@ degenerating into a pile-up:
   event loop stays responsive for admission, shedding, and health
   probes.
 
+On top sits the runtime observability layer (docs/OBSERVABILITY.md):
+
+* every request carries a **trace id** (the inbound
+  ``X-Repro-Trace-Id`` is honoured, otherwise one is minted), echoed
+  in the response header and JSON body, and its
+  admission → parse → coalesce → execute stages are recorded as real
+  :class:`~repro.telemetry.Tracer` spans with the worker thread's span
+  forest merged in;
+* every finished request lands in the :class:`FlightRecorder` ring;
+  any 5xx dumps the ring to a JSONL artifact, and ``/debugz`` serves
+  the ring for ``repro top`` and post-mortems;
+* ``/metricsz`` content-negotiates between the JSON registry dump and
+  Prometheus text exposition; ``/healthz`` carries uptime, the config
+  fingerprint, and the rolling-window SLO verdict with burn rate;
+* when ``log_path`` is set, one structured JSONL access/event line is
+  written per request (size-rotated, see
+  :class:`~repro.telemetry.JsonlLogger`).
+
 Everything observable is counted under the ``serve.*`` metric names
 (docs/TELEMETRY.md) and exposed on ``/metricsz``.
 """
@@ -26,17 +44,23 @@ Everything observable is counted under the ``serve.*`` metric names
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import re
 import threading
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from .. import __version__, api
 from ..core.config import CompileOptions, VARIANTS
 from ..driver import BatchCompiler, CompileCache, cache_key
 from ..harness import SoundnessError
-from ..telemetry import Telemetry
+from ..telemetry import JsonlLogger, Telemetry, Tracer, render_prometheus
+from .flight import FlightRecorder, RequestRecord
 from .http import (
     HttpError,
     Request,
@@ -54,6 +78,15 @@ from .protocol import (
     profile_response,
     run_response,
 )
+from .slo import SloConfig, SloTracker
+
+#: inbound trace ids must match this or they are replaced (a hostile
+#: header must not be able to inject log/artifact content)
+TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def make_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(frozen=True)
@@ -73,6 +106,31 @@ class ServerConfig:
     #: default interpreter fuel when a request does not set one
     fuel: int = 100_000_000
     max_body_bytes: int = 4 * 1024 * 1024
+    #: flight-recorder ring size (recent requests kept for /debugz)
+    flight_capacity: int = 256
+    #: where 5xx flight dumps land (None = no dump artifacts)
+    flight_dir: str | None = None
+    #: structured JSONL access/event log (None = no log file)
+    log_path: str | None = None
+    log_max_bytes: int = 10 * 1024 * 1024
+    log_backups: int = 3
+    #: rolling SLO window and targets surfaced on /healthz
+    slo_window_s: float = 300.0
+    slo_target_p95_ms: float = 500.0
+    slo_target_error_rate: float = 0.01
+    #: honour client-side fault-injection fields (``debug_fail``) —
+    #: tests and the CI obs-smoke job only, never production
+    debug_hooks: bool = False
+
+    def fingerprint(self) -> str:
+        """A short stable digest of every knob + the package version.
+
+        Dashboards compare it across scrapes: a changed fingerprint (or
+        a reset ``started_unix``) means they are looking at a restarted
+        or reconfigured server and must not diff counters across it.
+        """
+        rendering = repr(sorted(asdict(self).items())) + __version__
+        return hashlib.sha256(rendering.encode("utf-8")).hexdigest()[:16]
 
 
 class ReproServer:
@@ -101,6 +159,24 @@ class ReproServer:
         self._pending = 0
         self._server: asyncio.AbstractServer | None = None
         self.port = self.config.port
+        self.started_unix = time.time()
+        self.config_fingerprint = self.config.fingerprint()
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            dump_dir=self.config.flight_dir,
+        )
+        self.slo = SloTracker(SloConfig(
+            window_s=self.config.slo_window_s,
+            target_p95_ms=self.config.slo_target_p95_ms,
+            target_error_rate=self.config.slo_target_error_rate,
+        ))
+        self.log: JsonlLogger | None = None
+        if self.config.log_path:
+            self.log = JsonlLogger(self.config.log_path,
+                                   max_bytes=self.config.log_max_bytes,
+                                   backups=self.config.log_backups)
+            self.log.info("server-init", version=__version__,
+                          config_fingerprint=self.config_fingerprint)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -109,6 +185,9 @@ class ReproServer:
             self._on_connection, self.config.host, self.config.port,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.log is not None:
+            self.log.info("server-start", host=self.config.host,
+                          port=self.port)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -122,6 +201,9 @@ class ReproServer:
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
         self.driver.close()
+        if self.log is not None:
+            self.log.info("server-stop",
+                          requests=self.flight.stats()["recorded"])
 
     # -- connection handling -------------------------------------------------
 
@@ -134,6 +216,7 @@ class ReproServer:
                         reader, max_body_bytes=self.config.max_body_bytes)
                 except HttpError as exc:
                     # The stream may be desynchronized: answer and close.
+                    self.metrics.counter("serve.errors", kind="http").inc()
                     writer.write(error_response(
                         exc.status, exc.message, keep_alive=False).to_bytes())
                     await writer.drain()
@@ -156,21 +239,102 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _trace_id(self, request: Request) -> str:
+        inbound = request.headers.get("x-repro-trace-id", "")
+        if inbound and TRACE_ID_RE.match(inbound):
+            return inbound
+        return make_trace_id()
+
     async def _dispatch(self, request: Request) -> Response:
         loop = asyncio.get_running_loop()
         started = loop.time()
-        endpoint, response = await self._route(request)
+        started_unix = time.time()
+        trace_id = self._trace_id(request)
+        tracer = Tracer(process_name=f"serve:{trace_id}")
+        endpoint, response = await self._route(request, trace_id, tracer)
         elapsed_ms = (loop.time() - started) * 1000
+
         self.metrics.counter("serve.requests", endpoint=endpoint).inc()
         self.metrics.counter("serve.responses",
                              status=response.status).inc()
         self.metrics.histogram("serve.latency_ms",
                                endpoint=endpoint).observe(elapsed_ms)
+        if response.status >= 400:
+            kind = response.error_kind or (
+                "client" if response.status < 500 else "internal")
+            self.metrics.counter("serve.errors", kind=kind).inc()
+        self.slo.observe(elapsed_ms, error=response.status >= 500,
+                         shed=response.status == 429)
+
+        # The trace id rides on every response, header and body alike,
+        # so clients and logs correlate without parsing either twice.
+        response.headers.append(("X-Repro-Trace-Id", trace_id))
+        payload = response.payload
+        if isinstance(payload, dict):
+            payload.setdefault("trace_id", trace_id)
+
+        dump = self._record_flight(request, endpoint, response, trace_id,
+                                   tracer, started_unix, elapsed_ms)
+        self._log_request(request, endpoint, response, trace_id,
+                          elapsed_ms, dump)
         return response
 
-    async def _route(self, request: Request) -> tuple[str, Response]:
+    def _record_flight(self, request: Request, endpoint: str,
+                       response: Response, trace_id: str, tracer: Tracer,
+                       started_unix: float,
+                       elapsed_ms: float) -> Path | None:
+        payload = response.payload if isinstance(response.payload, dict) \
+            else {}
+        stages: dict[str, float] = {}
+        for span in tracer.walk():
+            stages.setdefault(span.name, span.duration_us / 1000)
+        record = RequestRecord(
+            trace_id=trace_id,
+            endpoint=endpoint,
+            method=request.method,
+            status=response.status,
+            started_unix=started_unix,
+            duration_ms=elapsed_ms,
+            stages=stages,
+            cached=payload.get("cached"),
+            coalesced=payload.get("coalesced"),
+            error=payload.get("error"),
+            spans=tracer.to_dict(),
+        )
+        return self.flight.record(record)
+
+    def _log_request(self, request: Request, endpoint: str,
+                     response: Response, trace_id: str, elapsed_ms: float,
+                     dump: Path | None) -> None:
+        if self.log is None:
+            return
+        severity = ("error" if response.status >= 500
+                    else "warning" if response.status >= 400
+                    else "info")
+        payload = response.payload if isinstance(response.payload, dict) \
+            else {}
+        fields: dict[str, Any] = {
+            "trace_id": trace_id,
+            "method": request.method,
+            "endpoint": endpoint,
+            "status": response.status,
+            "duration_ms": round(elapsed_ms, 3),
+        }
+        for key in ("cached", "coalesced"):
+            if payload.get(key) is not None:
+                fields[key] = payload[key]
+        if payload.get("error"):
+            fields["error"] = payload["error"]
+        if response.error_kind:
+            fields["kind"] = response.error_kind
+        if dump is not None:
+            fields["flight_dump"] = str(dump)
+        self.log.log(severity, "request", **fields)
+
+    async def _route(self, request: Request, trace_id: str,
+                     tracer: Tracer) -> tuple[str, Response]:
         """Resolve one request to ``(endpoint label, response)``."""
-        target = request.target.split("?", 1)[0]
+        target, _, query = request.target.partition("?")
         if target == "/healthz":
             if request.method != "GET":
                 return "healthz", error_response(405, "healthz is GET-only")
@@ -178,23 +342,73 @@ class ReproServer:
         if target == "/metricsz":
             if request.method != "GET":
                 return "metricsz", error_response(405, "metricsz is GET-only")
-            return "metricsz", Response(payload=self._metricsz())
+            return "metricsz", self._metricsz_response(request, query)
+        if target == "/debugz":
+            if request.method != "GET":
+                return "debugz", error_response(405, "debugz is GET-only")
+            return "debugz", Response(payload=self._debugz(query))
         if target.startswith("/v1/"):
             endpoint = target[len("/v1/"):]
             if request.method != "POST":
                 return endpoint, error_response(
                     405, f"/v1/{endpoint} is POST-only")
-            return endpoint, await self._serve_job(endpoint, request)
-        return "unknown", error_response(404, f"no such endpoint {target!r}")
+            return endpoint, await self._serve_job(endpoint, request,
+                                                   trace_id, tracer)
+        return "unknown", error_response(
+            404, f"no such endpoint {target!r}", kind="not_found")
 
     def _health(self) -> dict[str, Any]:
+        slo = self.slo.snapshot()
         return {
-            "status": "ok",
+            # Liveness stays HTTP 200 either way; "degraded" flags an
+            # SLO breach without making health probes kill the server.
+            "status": "ok" if slo["ok"] else "degraded",
             "version": __version__,
             "pending": self._pending,
             "queue_limit": self.config.queue_limit,
             "workers": self.config.workers,
+            "started_unix": round(self.started_unix, 3),
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "config_fingerprint": self.config_fingerprint,
+            "slo": slo,
+            "flight": self.flight.stats(),
         }
+
+    def _metricsz_response(self, request: Request, query: str) -> Response:
+        """JSON by default; Prometheus text when negotiated.
+
+        ``?format=prometheus|json`` wins; otherwise an ``Accept``
+        header asking for ``text/plain`` or OpenMetrics selects the
+        text exposition.
+        """
+        params = parse_qs(query)
+        form = (params.get("format") or [""])[0]
+        accept = request.headers.get("accept", "")
+        wants_text = form == "prometheus" or (
+            not form and ("text/plain" in accept
+                          or "application/openmetrics-text" in accept))
+        if wants_text:
+            self._refresh_runtime_gauges()
+            text = render_prometheus(self.metrics)
+            return Response(
+                body=text.encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        return Response(payload=self._metricsz())
+
+    def _refresh_runtime_gauges(self) -> None:
+        """Point-in-time state worth scraping but not worth a hot-path
+        write on every request."""
+        self.metrics.gauge("serve.uptime_s").set(
+            round(time.time() - self.started_unix, 3))
+        for name, value in self.flight.stats().items():
+            self.metrics.gauge(f"serve.flight_{name}").set(value)
+        slo = self.slo.snapshot()
+        self.metrics.gauge("serve.slo_burn_rate").set(slo["burn_rate"])
+        self.metrics.gauge("serve.slo_error_rate").set(slo["error_rate"])
+        self.metrics.gauge("serve.slo_window_p95_ms").set(
+            slo["latency_ms"]["p95"])
+        self.metrics.gauge("serve.slo_ok").set(1.0 if slo["ok"] else 0.0)
 
     def _metricsz(self) -> dict[str, Any]:
         document = self.metrics.as_dict()
@@ -202,80 +416,164 @@ class ReproServer:
             k: v for k, v in self.cache.stats().items()
             if isinstance(v, (int, float))
         }
+        document["flight"] = self.flight.stats()
+        document["slo"] = self.slo.snapshot()
+        document["server"] = {
+            "version": __version__,
+            "started_unix": round(self.started_unix, 3),
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "config_fingerprint": self.config_fingerprint,
+        }
         return document
+
+    def _debugz(self, query: str) -> dict[str, Any]:
+        """The flight-recorder ring, newest first, with filters."""
+        params = parse_qs(query)
+
+        def _one(name: str) -> str | None:
+            values = params.get(name)
+            return values[0] if values else None
+
+        limit_text = _one("limit")
+        try:
+            limit = int(limit_text) if limit_text else 32
+        except ValueError:
+            limit = 32
+        min_status: int | None = None
+        status_text = _one("min_status")
+        if status_text:
+            try:
+                min_status = int(status_text)
+            except ValueError:
+                min_status = None
+        if _one("errors") in ("1", "true"):
+            min_status = max(min_status or 0, 400)
+        records = self.flight.snapshot(
+            limit=limit,
+            trace_id=_one("trace"),
+            min_status=min_status,
+        )
+        return {
+            "records": records,
+            "flight": self.flight.stats(),
+            "server": {
+                "version": __version__,
+                "started_unix": round(self.started_unix, 3),
+                "config_fingerprint": self.config_fingerprint,
+            },
+        }
 
     # -- the job pipeline ----------------------------------------------------
 
-    async def _serve_job(self, endpoint: str, request: Request) -> Response:
+    async def _serve_job(self, endpoint: str, request: Request,
+                         trace_id: str, tracer: Tracer) -> Response:
         """Admission -> parse -> coalesce -> execute, with error mapping."""
-        if self._pending >= self.config.queue_limit:
-            self.metrics.counter("serve.shed").inc()
-            return error_response(
-                429,
-                f"{self._pending} jobs already admitted "
-                f"(queue_limit={self.config.queue_limit}); retry shortly",
-                headers=[("Retry-After",
-                          format(self.config.retry_after, "g"))],
-            )
-        self._pending += 1
-        self.metrics.gauge("serve.queue_depth").set(self._pending)
-        try:
-            payload = request.json()
-            job = parse_request(endpoint, payload,
-                                default_fuel=self.config.fuel)
-            result = await self._coalesced(job)
-            return Response(payload=result)
-        except HttpError as exc:
-            return error_response(exc.status, exc.message)
-        except ProtocolError as exc:
-            return error_response(exc.status, str(exc))
-        except SoundnessError as exc:
-            self.metrics.counter("serve.errors", kind="soundness").inc()
-            return error_response(500, f"soundness check failed: {exc}")
-        except Exception as exc:  # noqa: BLE001 — a job must never kill the loop
-            self.metrics.counter("serve.errors", kind="internal").inc()
-            return error_response(500, f"{type(exc).__name__}: {exc}")
-        finally:
-            self._pending -= 1
-            self.metrics.gauge("serve.queue_depth").set(self._pending)
+        with tracer.span("request", category="serve", endpoint=endpoint,
+                         trace_id=trace_id):
+            with tracer.span("admission", category="serve") as admission:
+                if self._pending >= self.config.queue_limit:
+                    self.metrics.counter("serve.shed").inc()
+                    admission.annotate(shed=True)
+                    return error_response(
+                        429,
+                        f"{self._pending} jobs already admitted "
+                        f"(queue_limit={self.config.queue_limit}); "
+                        f"retry shortly",
+                        headers=[("Retry-After",
+                                  format(self.config.retry_after, "g"))],
+                        kind="shed",
+                    )
+                self._pending += 1
+                self.metrics.gauge("serve.queue_depth").set(self._pending)
+            try:
+                with tracer.span("parse", category="serve"):
+                    payload = request.json()
+                    job = parse_request(endpoint, payload,
+                                        default_fuel=self.config.fuel)
+                if self.config.debug_hooks and isinstance(payload, dict) \
+                        and payload.get("debug_fail"):
+                    raise RuntimeError(
+                        "debug_fail requested by client (debug hook)")
+                result = await self._coalesced(job, trace_id, tracer)
+                return Response(payload=result)
+            except HttpError as exc:
+                return error_response(exc.status, exc.message,
+                                      kind="bad_request")
+            except ProtocolError as exc:
+                kind = "not_found" if exc.status == 404 else "protocol"
+                return error_response(exc.status, str(exc), kind=kind)
+            except SoundnessError as exc:
+                return error_response(
+                    500, f"soundness check failed: {exc}", kind="soundness")
+            except Exception as exc:  # noqa: BLE001 — a job must never kill the loop
+                return error_response(500, f"{type(exc).__name__}: {exc}",
+                                      kind="internal")
+            finally:
+                self._pending -= 1
+                self.metrics.gauge("serve.queue_depth").set(self._pending)
 
-    async def _coalesced(self, job: ServeRequest) -> dict[str, Any]:
+    async def _coalesced(self, job: ServeRequest, trace_id: str,
+                         tracer: Tracer) -> dict[str, Any]:
         """Run one job, sharing the result with identical in-flight jobs."""
         loop = asyncio.get_running_loop()
         # The prepare stage (parse + fingerprint) is itself CPU work.
-        key, work = await loop.run_in_executor(
-            self._executor, self._prepare, job)
+        with tracer.span("coalesce", category="serve"):
+            with tracer.span("prepare", category="serve"):
+                key, work = await loop.run_in_executor(
+                    self._executor, self._prepare, job, trace_id)
 
-        leader_future = self._inflight.get(key)
-        if leader_future is not None:
-            self.metrics.counter("serve.coalesced",
-                                 endpoint=job.endpoint).inc()
-            # shield(): a follower disconnecting must not cancel the
-            # leader's computation out from under the other waiters.
-            status, value = await asyncio.shield(leader_future)
-            if status == "error":
-                raise value
-            return dict(value, coalesced=True)
+            leader_future = self._inflight.get(key)
+            if leader_future is not None:
+                self.metrics.counter("serve.coalesced",
+                                     endpoint=job.endpoint).inc()
+                # shield(): a follower disconnecting must not cancel the
+                # leader's computation out from under the other waiters.
+                with tracer.span("await-leader", category="serve"):
+                    status, value = await asyncio.shield(leader_future)
+                if status == "error":
+                    raise value
+                return dict(value, coalesced=True)
 
-        future: asyncio.Future = loop.create_future()
-        self._inflight[key] = future
-        try:
-            result = await loop.run_in_executor(self._executor, work)
-        except Exception as exc:
-            future.set_result(("error", exc))
-            raise
-        else:
-            future.set_result(("ok", result))
-            return dict(result, coalesced=False)
-        finally:
-            del self._inflight[key]
+            future: asyncio.Future = loop.create_future()
+            self._inflight[key] = future
+            try:
+                with tracer.span("execute", category="serve"):
+                    result, worker = await loop.run_in_executor(
+                        self._executor, self._traced_work, work, trace_id,
+                        job.endpoint)
+                tracer.merge(worker)
+            except Exception as exc:
+                future.set_result(("error", exc))
+                raise
+            else:
+                future.set_result(("ok", result))
+                return dict(result, coalesced=False)
+            finally:
+                del self._inflight[key]
 
-    def _prepare(self, job: ServeRequest) -> tuple[tuple, Callable]:
+    def _traced_work(self, work: Callable, trace_id: str,
+                     endpoint: str) -> tuple[dict[str, Any], Tracer]:
+        """Run ``work`` on this worker thread under its own tracer.
+
+        The worker tracer has its own monotonic epoch, exactly like a
+        pool process would; the caller rebases it into the request's
+        timeline with :meth:`Tracer.merge`.
+        """
+        worker = Tracer(process_name=f"worker:{trace_id}")
+        with worker.span(f"work:{endpoint}", category="worker",
+                         thread=threading.current_thread().name):
+            result = work()
+        return result, worker
+
+    def _prepare(self, job: ServeRequest,
+                 trace_id: str) -> tuple[tuple, Callable]:
         """Resolve a job to its coalescing key and a thunk of the work.
 
         Runs on a worker thread.  The key reuses the compile cache's
         content fingerprint, so two textually different requests that
-        parse to the same IR under the same config coalesce too.
+        parse to the same IR under the same config coalesce too.  The
+        trace id rides along into the driver so worker-side span
+        forests stay correlated with the request.
         """
         options = CompileOptions(
             variant=job.variant,
@@ -303,13 +601,15 @@ class ReproServer:
         if job.endpoint == "compile":
             cached = fingerprint in self.cache
             return key, lambda: compile_response(
-                api.compile(program, options, driver=self.driver),
+                api.compile(program, options, driver=self.driver,
+                            trace_id=trace_id),
                 cache_key=fingerprint,
                 cached=cached,
             )
         if job.endpoint == "run":
             return key, lambda: run_response(
-                api.run(program, options, driver=self.driver))
+                api.run(program, options, driver=self.driver,
+                        trace_id=trace_id))
         # profile — api.profile compiles inline (no driver hook yet)
         return key, lambda: profile_response(
             api.profile(program, options, workload=job.workload or ""))

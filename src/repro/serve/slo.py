@@ -1,0 +1,117 @@
+"""Rolling-window SLO tracking: latency percentiles, error rate, burn.
+
+The lifetime counters on ``/metricsz`` can't answer "is the service
+healthy *right now*" — a bad five minutes disappears into a good day.
+:class:`SloTracker` keeps the last ``window_s`` seconds of
+``(latency, error)`` observations and reduces them on demand to the
+operational verdict ``/healthz`` serves:
+
+* exact p50/p95/p99 over the window (the window is bounded, so sorting
+  it is cheap and there is no bucketing error);
+* the windowed error rate versus the configured target, and the **burn
+  rate** — error rate divided by the error budget.  Burn rate 1.0
+  means the budget is being consumed exactly as provisioned; 2.0 means
+  the window is burning budget twice as fast as the SLO allows (the
+  standard multi-window alerting currency, see docs/OBSERVABILITY.md);
+* a latency verdict: windowed p95 against the target.
+
+Shed requests (429) are *not* errors for SLO purposes — shedding is
+the server protecting its latency SLO, and counting it as failure
+would penalize the exact mechanism that keeps the SLO honest.  They
+are tracked separately so ``repro top`` can still show the shed rate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Targets one server is held to."""
+
+    #: rolling window length, seconds
+    window_s: float = 300.0
+    #: windowed p95 latency target, milliseconds
+    target_p95_ms: float = 500.0
+    #: windowed error-rate budget (0.01 = 99% of requests succeed)
+    target_error_rate: float = 0.01
+
+
+class SloTracker:
+    """Sliding-window latency/error observations + SLO reduction."""
+
+    def __init__(self, config: SloConfig | None = None,
+                 clock=time.monotonic) -> None:
+        self.config = config if config is not None else SloConfig()
+        self._clock = clock
+        #: (monotonic_ts, latency_ms, error, shed)
+        self._window: deque[tuple[float, float, bool, bool]] = deque()
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def observe(self, latency_ms: float, *, error: bool = False,
+                shed: bool = False) -> None:
+        now = self._clock()
+        with self._lock:
+            self._window.append((now, latency_ms, error, shed))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.window_s
+        while self._window and self._window[0][0] < horizon:
+            self._window.popleft()
+
+    # -- reduction -----------------------------------------------------------
+
+    @staticmethod
+    def _percentile(ranked: list[float], q: float) -> float:
+        """Exact nearest-rank percentile of a sorted sample."""
+        if not ranked:
+            return 0.0
+        rank = max(1, -(-int(q * len(ranked) * 100) // 100))  # ceil
+        return ranked[min(rank, len(ranked)) - 1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The windowed SLO verdict ``/healthz`` serves."""
+        with self._lock:
+            self._prune(self._clock())
+            window = list(self._window)
+        total = len(window)
+        errors = sum(1 for _, _, error, _ in window if error)
+        shed = sum(1 for _, _, _, was_shed in window if was_shed)
+        served = total - shed
+        latencies = sorted(latency for _, latency, _, was_shed in window
+                           if not was_shed)
+        error_rate = errors / served if served else 0.0
+        budget = self.config.target_error_rate
+        burn_rate = (error_rate / budget) if budget > 0 else 0.0
+        p95 = self._percentile(latencies, 0.95)
+        latency_ok = p95 <= self.config.target_p95_ms
+        errors_ok = error_rate <= budget
+        return {
+            "window_s": self.config.window_s,
+            "requests": total,
+            "served": served,
+            "errors": errors,
+            "shed": shed,
+            "error_rate": round(error_rate, 6),
+            "target_error_rate": budget,
+            "burn_rate": round(burn_rate, 3),
+            "error_budget_remaining": round(
+                max(0.0, 1.0 - burn_rate), 3),
+            "latency_ms": {
+                "p50": round(self._percentile(latencies, 0.50), 3),
+                "p95": round(p95, 3),
+                "p99": round(self._percentile(latencies, 0.99), 3),
+            },
+            "target_p95_ms": self.config.target_p95_ms,
+            "latency_ok": latency_ok,
+            "errors_ok": errors_ok,
+            "ok": latency_ok and errors_ok,
+        }

@@ -1,0 +1,249 @@
+"""``repro top``: a live terminal dashboard over a running server.
+
+Polls one ``repro serve`` instance's ``/metricsz``, ``/healthz``, and
+``/debugz`` endpoints and renders the operational picture in place
+(plain ANSI clear-and-redraw — no curses dependency, so it works in
+any terminal and under CI):
+
+* throughput (requests/s from counter deltas between polls), queue
+  depth against the admission limit, shed and coalesce rates;
+* windowed latency percentiles, the SLO verdict and burn rate, and
+  lifetime error counts by kind;
+* compile-cache hit rate and flight-recorder occupancy;
+* the hottest recent requests from the flight ring (slowest first)
+  with their trace ids, so the jump from "p99 looks bad" to "this
+  request, this trace" is one glance.
+
+``--once`` takes a single sample and exits; with ``--json`` the sample
+is printed as one machine-readable JSON document instead of the
+human rendering — the scripting mode the CI obs-smoke job drives.
+Rates need two polls, so a ``--once`` sample reports totals and the
+windowed SLO figures, leaving the rates at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .loadtest import _http_request, _parse_url
+
+#: ANSI: home the cursor and clear to end of screen
+_CLEAR = "\x1b[H\x1b[J"
+
+
+@dataclass(frozen=True)
+class TopConfig:
+    """One dashboard session."""
+
+    url: str = "http://127.0.0.1:8787"
+    #: seconds between polls in live mode
+    interval: float = 2.0
+    #: hottest-request rows to show
+    rows: int = 8
+    #: request timeout per poll, seconds
+    timeout: float = 10.0
+
+
+@dataclass
+class TopSample:
+    """Everything one poll learned, plus rates vs. the previous poll."""
+
+    ts: float
+    ok: bool = True
+    error: str | None = None
+    health: dict[str, Any] = field(default_factory=dict)
+    totals: dict[str, float] = field(default_factory=dict)
+    rates: dict[str, float] = field(default_factory=dict)
+    cache: dict[str, Any] = field(default_factory=dict)
+    slo: dict[str, Any] = field(default_factory=dict)
+    flight: dict[str, Any] = field(default_factory=dict)
+    queue_depth: int = 0
+    hottest: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "error": self.error,
+            "health": self.health,
+            "totals": self.totals,
+            "rates": self.rates,
+            "cache": self.cache,
+            "slo": self.slo,
+            "flight": self.flight,
+            "queue_depth": self.queue_depth,
+            "hottest": self.hottest,
+        }
+
+
+def _family_total(counters: dict[str, Any], family: str) -> float:
+    """Sum every labelled series of one counter family."""
+    return float(sum(
+        value for name, value in counters.items()
+        if name == family or name.startswith(family + "{")
+    ))
+
+
+class TopClient:
+    """Polls one server and reduces the endpoints to :class:`TopSample`."""
+
+    def __init__(self, config: TopConfig | None = None) -> None:
+        self.config = config if config is not None else TopConfig()
+        self.host, self.port = _parse_url(self.config.url)
+
+    async def _get(self, path: str) -> dict[str, Any]:
+        status, document = await _http_request(
+            self.host, self.port, "GET", path,
+            timeout=self.config.timeout)
+        if status != 200:
+            raise RuntimeError(f"GET {path} -> HTTP {status}")
+        return document
+
+    async def fetch(self) -> tuple[dict, dict, dict]:
+        return await asyncio.gather(
+            self._get("/metricsz"),
+            self._get("/healthz"),
+            self._get(f"/debugz?limit={max(self.config.rows * 4, 16)}"),
+        )
+
+    def sample(self, previous: TopSample | None = None) -> TopSample:
+        """One poll; rates are deltas against ``previous`` when given."""
+        now = time.monotonic()
+        try:
+            metrics, health, debug = asyncio.run(self.fetch())
+        except Exception as exc:
+            return TopSample(ts=now, ok=False,
+                            error=f"{type(exc).__name__}: {exc}")
+
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        totals = {
+            "requests": _family_total(counters, "serve.requests"),
+            "errors": _family_total(counters, "serve.errors"),
+            "shed": _family_total(counters, "serve.shed"),
+            "coalesced": _family_total(counters, "serve.coalesced"),
+        }
+        rates: dict[str, float] = {key: 0.0 for key in totals}
+        if previous is not None and previous.ok:
+            dt = now - previous.ts
+            if dt > 0:
+                rates = {
+                    key: max(0.0, (totals[key]
+                                   - previous.totals.get(key, 0.0)) / dt)
+                    for key in totals
+                }
+        cache = dict(metrics.get("cache", {}))
+        hits = float(cache.get("hits", 0))
+        misses = float(cache.get("misses", 0))
+        cache["hit_rate"] = round(hits / (hits + misses), 4) \
+            if hits + misses else 0.0
+        records = debug.get("records", [])
+        hottest = sorted(records, key=lambda r: -r.get("duration_ms", 0.0))
+        hottest = [
+            {
+                "trace_id": r.get("trace_id", ""),
+                "endpoint": r.get("endpoint", ""),
+                "status": r.get("status", 0),
+                "duration_ms": r.get("duration_ms", 0.0),
+                "cached": r.get("cached"),
+                "coalesced": r.get("coalesced"),
+                "error": r.get("error"),
+            }
+            for r in hottest[:self.config.rows]
+        ]
+        return TopSample(
+            ts=now,
+            health=health,
+            totals=totals,
+            rates=rates,
+            cache=cache,
+            slo=metrics.get("slo", health.get("slo", {})),
+            flight=metrics.get("flight", {}),
+            queue_depth=int(gauges.get("serve.queue_depth", 0)),
+            hottest=hottest,
+        )
+
+
+def render(sample: TopSample, config: TopConfig) -> str:
+    """The human rendering of one sample (no ANSI — pure text)."""
+    if not sample.ok:
+        return (f"repro top — {config.url}\n\n"
+                f"  server unreachable: {sample.error}\n")
+    health = sample.health
+    slo = sample.slo or {}
+    latency = slo.get("latency_ms", {})
+    verdict = "OK" if slo.get("ok", True) else "BREACH"
+    lines = [
+        f"repro top — {config.url}    "
+        f"v{health.get('version', '?')}    "
+        f"up {health.get('uptime_s', 0.0):.0f}s    "
+        f"cfg {health.get('config_fingerprint', '?')[:12]}",
+        "",
+        f"  throughput {sample.rates['requests']:8.1f} req/s    "
+        f"queue {sample.queue_depth}/{health.get('queue_limit', '?')}    "
+        f"shed {sample.rates['shed']:.1f}/s    "
+        f"coalesce {sample.rates['coalesced']:.1f}/s",
+        f"  window p50 {latency.get('p50', 0.0):8.1f} ms    "
+        f"p95 {latency.get('p95', 0.0):8.1f} ms    "
+        f"p99 {latency.get('p99', 0.0):8.1f} ms    "
+        f"({slo.get('requests', 0)} reqs / {slo.get('window_s', 0):.0f}s)",
+        f"  SLO {verdict}    "
+        f"burn {slo.get('burn_rate', 0.0):.2f}    "
+        f"error rate {slo.get('error_rate', 0.0):.4f} "
+        f"(target {slo.get('target_error_rate', 0.0):.4f})    "
+        f"errors {sample.totals['errors']:.0f} lifetime",
+        f"  cache hit {sample.cache.get('hit_rate', 0.0) * 100:5.1f}%    "
+        f"flight {sample.flight.get('size', 0)}/"
+        f"{sample.flight.get('capacity', 0)} "
+        f"(recorded {sample.flight.get('recorded', 0)}, "
+        f"dumps {sample.flight.get('dumps_written', 0)})",
+        "",
+        "  hottest recent requests (slowest first):",
+        f"  {'trace id':<20} {'endpoint':<10} {'status':>6} "
+        f"{'ms':>10}  disposition",
+    ]
+    if not sample.hottest:
+        lines.append("    (flight recorder is empty)")
+    for row in sample.hottest:
+        marks = []
+        if row.get("cached"):
+            marks.append("cached")
+        if row.get("coalesced"):
+            marks.append("coalesced")
+        if row.get("error"):
+            marks.append(f"error: {str(row['error'])[:40]}")
+        lines.append(
+            f"  {row['trace_id']:<20} {row['endpoint']:<10} "
+            f"{row['status']:>6} {row['duration_ms']:>10.2f}  "
+            f"{', '.join(marks) or '-'}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(config: TopConfig, *, once: bool = False,
+            as_json: bool = False, write=print) -> int:
+    """Entry point behind the ``repro top`` subcommand.
+
+    Returns a process exit code: 0 when the (last) sample succeeded,
+    1 when the server was unreachable.
+    """
+    client = TopClient(config)
+    sample = client.sample()
+    if once:
+        if as_json:
+            write(json.dumps(sample.to_dict(), indent=2, sort_keys=True))
+        else:
+            write(render(sample, config), end="")
+        return 0 if sample.ok else 1
+
+    try:
+        while True:
+            write(_CLEAR + render(sample, config), end="", flush=True)
+            time.sleep(config.interval)
+            sample = client.sample(previous=sample)
+    except KeyboardInterrupt:
+        write("")  # leave the shell prompt on its own line
+    return 0 if sample.ok else 1

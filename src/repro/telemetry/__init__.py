@@ -31,6 +31,13 @@ from .decisions import (
     VERDICT_ELIMINATED,
     VERDICT_KEPT,
 )
+from .eventlog import SEVERITIES, JsonlLogger
+from .exposition import (
+    parse_prometheus_text,
+    prometheus_name,
+    render_prometheus,
+    sample_value,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .tracer import Span, Tracer
 
@@ -115,6 +122,48 @@ def validate_telemetry_document(doc: dict[str, Any]) -> list[str]:
     if not isinstance(metrics, dict) or not {
             "counters", "gauges", "histograms"} <= set(metrics):
         problems.append("metrics block malformed")
+    elif isinstance(metrics.get("counters"), dict):
+        # Two renderings of the same (family, label set) — e.g.
+        # "c{a=1,b=2}" and "c{b=2,a=1}" — mean a merge or an exporter
+        # double-counted a series; the registry itself always renders
+        # labels sorted, so any duplicate is a corruption.
+        seen: dict[tuple, str] = {}
+        for series in metrics["counters"]:
+            family, _, raw = str(series).partition("{")
+            labels = frozenset(raw.rstrip("}").split(",")) if raw \
+                else frozenset()
+            key = (family, labels)
+            if key in seen:
+                problems.append(
+                    f"metrics.counters has duplicate label set: "
+                    f"{seen[key]!r} vs {series!r}"
+                )
+                break
+            seen[key] = str(series)
+
+    def _check_span_extents(span: dict[str, Any], path: str) -> str | None:
+        end = span.get("start_us", 0) + span.get("duration_us", 0)
+        for i, child in enumerate(span.get("children", ())):
+            child_end = (child.get("start_us", 0)
+                         + child.get("duration_us", 0))
+            if child_end > end:
+                return (f"{path}.children[{i}] ({child.get('name')!r}) "
+                        f"extends past its parent "
+                        f"(ends {child_end} > {end})")
+            nested = _check_span_extents(child, f"{path}.children[{i}]")
+            if nested is not None:
+                return nested
+        return None
+
+    spans = doc.get("spans")
+    if isinstance(spans, list):
+        for i, root in enumerate(spans):
+            if not isinstance(root, dict):
+                continue
+            problem = _check_span_extents(root, f"spans[{i}]")
+            if problem is not None:
+                problems.append(problem)
+                break
     decisions = doc.get("decisions")
     if not isinstance(decisions, list):
         problems.append("decisions is not a list")
@@ -145,11 +194,17 @@ __all__ = [
     "DecisionRecord",
     "Gauge",
     "Histogram",
+    "JsonlLogger",
     "MetricsRegistry",
     "SCHEMA_VERSION",
+    "SEVERITIES",
     "Span",
     "Telemetry",
     "Tracer",
+    "parse_prometheus_text",
+    "prometheus_name",
+    "render_prometheus",
+    "sample_value",
     "VERDICT_ELIMINATED",
     "VERDICT_KEPT",
     "validate_telemetry_document",

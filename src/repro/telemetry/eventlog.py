@@ -1,0 +1,126 @@
+"""Structured JSONL event log with severity and size-based rotation.
+
+The serving stack's access/event log (docs/OBSERVABILITY.md).  Each
+:meth:`JsonlLogger.log` call appends exactly one JSON object per line::
+
+    {"ts": 1754650000.123, "severity": "info", "event": "request",
+     "trace_id": "ab12...", "status": 200, ...}
+
+Design constraints, in order:
+
+* **append-only JSONL** — every line is independently parseable, so a
+  crashed process never leaves a torn document, and ``grep | jq``
+  post-mortems work without tooling;
+* **bounded disk** — when the active file would exceed ``max_bytes``
+  it rotates (``serve.log`` -> ``serve.log.1`` -> ... ``.N``), keeping
+  at most ``backups`` rotated generations;
+* **thread-safe** — one lock around write+rotate; the serve stack logs
+  from the event loop and from worker threads.
+
+Severities are the conventional four; :meth:`log` rejects anything
+else so typos never silently create a fifth level.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+SEVERITIES = ("debug", "info", "warning", "error")
+
+
+class JsonlLogger:
+    """Append structured events to a JSONL file, rotating by size."""
+
+    def __init__(self, path: str | Path, *,
+                 max_bytes: int = 10 * 1024 * 1024,
+                 backups: int = 3,
+                 clock=time.time) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- writing -------------------------------------------------------------
+
+    def log(self, severity: str, event: str, **fields: Any) -> None:
+        """Append one event; ``fields`` must be JSON-serializable."""
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}; one of: "
+                             + ", ".join(SEVERITIES))
+        record = {"ts": round(self._clock(), 6), "severity": severity,
+                  "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True,
+                          default=str) + "\n"
+        encoded = line.encode("utf-8")
+        with self._lock:
+            self._rotate_if_needed(len(encoded))
+            with open(self.path, "ab") as handle:
+                handle.write(encoded)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    # -- rotation ------------------------------------------------------------
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        # Shift the generations up; the oldest falls off the end.
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+            return
+        oldest = self.rotated_path(self.backups)
+        oldest.unlink(missing_ok=True)
+        for index in range(self.backups - 1, 0, -1):
+            source = self.rotated_path(index)
+            if source.exists():
+                os.replace(source, self.rotated_path(index + 1))
+        os.replace(self.path, self.rotated_path(1))
+
+    def rotated_path(self, index: int) -> Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
+
+    # -- reading (tests, `repro top`, post-mortems) --------------------------
+
+    def read_events(self, *, include_rotated: bool = False) -> list[dict]:
+        """Parse events back, oldest first."""
+        paths: list[Path] = []
+        if include_rotated:
+            paths.extend(
+                self.rotated_path(i)
+                for i in range(self.backups, 0, -1)
+                if self.rotated_path(i).exists()
+            )
+        if self.path.exists():
+            paths.append(self.path)
+        events: list[dict] = []
+        for path in paths:
+            for line in path.read_text("utf-8").splitlines():
+                if line.strip():
+                    events.append(json.loads(line))
+        return events

@@ -1,0 +1,199 @@
+"""Prometheus text exposition for the metrics registry.
+
+The registry (:mod:`repro.telemetry.metrics`) already follows the
+Prometheus naming model — instrument families fan out into labelled
+series — so this module is only the wire format: render one
+:class:`~repro.telemetry.metrics.MetricsRegistry` as the Prometheus
+text format (version 0.0.4, the ``text/plain`` scrape format every
+Prometheus-compatible collector accepts):
+
+* counters render as ``<name>_total`` with a ``# TYPE ... counter``
+  header;
+* gauges render verbatim;
+* histograms render as *summaries*: the ``quantile``-labelled series
+  reuse the in-bucket interpolation of
+  :meth:`~repro.telemetry.metrics.Histogram.quantile` (the PR-5
+  percentile estimator), followed by ``_sum`` and ``_count``.
+
+Metric and label names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``), so dotted repro families like
+``serve.latency_ms`` become ``serve_latency_ms``.  Label values are
+escaped per the exposition spec (backslash, quote, newline).
+
+:func:`parse_prometheus_text` is the matching validator: it parses a
+text-format document back into samples and raises :class:`ValueError`
+on any malformed line, which is exactly what the CI obs-smoke job and
+the tests use to prove ``/metricsz`` speaks the real format.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+
+#: quantiles rendered for every histogram family (matches Histogram.as_dict)
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*='
+    r'\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a repro metric family name to the Prometheus grammar."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _label_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not _LABEL_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_value(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _render_labels(labels: Iterable[tuple[str, str]]) -> str:
+    pairs = [f'{_label_name(k)}="{_escape_value(v)}"' for k, v in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    Families are emitted in sorted order with one ``# TYPE`` header
+    each, so two scrapes of the same state are byte-identical.
+    """
+    lines: list[str] = []
+
+    counters: dict[str, list[tuple[tuple, float]]] = {}
+    for name, key, instrument in registry.iter_counters():
+        counters.setdefault(prometheus_name(name), []).append(
+            (key, instrument.value))
+    for family in sorted(counters):
+        lines.append(f"# TYPE {family}_total counter")
+        for key, value in sorted(counters[family]):
+            lines.append(f"{family}_total{_render_labels(key)} "
+                         f"{_format_value(value)}")
+
+    gauges: dict[str, list[tuple[tuple, float]]] = {}
+    for name, key, instrument in registry.iter_gauges():
+        gauges.setdefault(prometheus_name(name), []).append(
+            (key, instrument.value))
+    for family in sorted(gauges):
+        lines.append(f"# TYPE {family} gauge")
+        for key, value in sorted(gauges[family]):
+            lines.append(f"{family}{_render_labels(key)} "
+                         f"{_format_value(value)}")
+
+    histograms: dict[str, list[tuple[tuple, Any]]] = {}
+    for name, key, instrument in registry.iter_histograms():
+        histograms.setdefault(prometheus_name(name), []).append(
+            (key, instrument))
+    for family in sorted(histograms):
+        lines.append(f"# TYPE {family} summary")
+        for key, histogram in sorted(histograms[family],
+                                     key=lambda item: item[0]):
+            for q in SUMMARY_QUANTILES:
+                estimate = histogram.quantile(q)
+                if estimate is None:
+                    continue
+                labels = (*key, ("quantile", format(q, "g")))
+                lines.append(f"{family}{_render_labels(labels)} "
+                             f"{_format_value(estimate)}")
+            lines.append(f"{family}_sum{_render_labels(key)} "
+                         f"{_format_value(histogram.total)}")
+            lines.append(f"{family}_count{_render_labels(key)} "
+                         f"{_format_value(histogram.count)}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_prometheus_text(text: str) -> list[dict[str, Any]]:
+    """Parse a text-format document into sample dicts.
+
+    Returns one ``{"name", "labels", "value"}`` dict per sample line.
+    Raises :class:`ValueError` — with the offending line number — on
+    any line that is neither a comment, blank, nor a valid sample, on
+    bad label syntax, and on unparseable values.
+    """
+    samples: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw is not None:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(raw):
+                if pair.start() != consumed:
+                    break
+                labels[pair.group("key")] = (
+                    pair.group("value")
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+                consumed = pair.end()
+            if consumed != len(raw):
+                raise ValueError(
+                    f"line {lineno}: malformed labels {{{raw}}}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: malformed value "
+                             f"{match.group('value')!r}") from None
+        samples.append({"name": match.group("name"), "labels": labels,
+                        "value": value})
+    return samples
+
+
+def sample_value(samples: list[dict[str, Any]], name: str,
+                 **labels: str) -> float | None:
+    """The value of the sample matching ``name`` + ``labels`` exactly."""
+    for sample in samples:
+        if sample["name"] == name and sample["labels"] == labels:
+            return sample["value"]
+    return None

@@ -203,6 +203,21 @@ class MetricsRegistry:
                             *self._histograms):
             yield _series_name(name, key)
 
+    # Snapshot iteration for exporters (the Prometheus renderer and the
+    # tests): yields (family name, label pairs, instrument) triples.
+
+    def iter_counters(self) -> Iterable[tuple[str, _LabelKey, Counter]]:
+        for (name, key), counter in self._counters.items():
+            yield name, key, counter
+
+    def iter_gauges(self) -> Iterable[tuple[str, _LabelKey, Gauge]]:
+        for (name, key), gauge in self._gauges.items():
+            yield name, key, gauge
+
+    def iter_histograms(self) -> Iterable[tuple[str, _LabelKey, Histogram]]:
+        for (name, key), histogram in self._histograms.items():
+            yield name, key, histogram
+
     # -- merge / export -------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:

@@ -44,6 +44,26 @@ class Span:
         """Attach key/value payload visible in the trace viewer."""
         self.args.update(args)
 
+    @classmethod
+    def from_dict(cls, entry: dict[str, Any]) -> "Span":
+        """Rebuild a span subtree from its :meth:`to_dict` rendering.
+
+        The inverse used when a span forest crosses a process boundary
+        as JSON — e.g. the load-test client adopting server-side spans
+        fetched from ``/debugz`` before merging them into its own
+        trace.
+        """
+        span = cls(
+            str(entry.get("name", "?")),
+            str(entry.get("category", "pipeline")),
+            int(entry.get("start_us", 0)),
+            dict(entry["args"]) if entry.get("args") else None,
+        )
+        span.duration_us = int(entry.get("duration_us", 0))
+        span.children = [cls.from_dict(child)
+                         for child in entry.get("children", ())]
+        return span
+
     def to_dict(self) -> dict[str, Any]:
         """Nested (non-Chrome) representation, for tests and diffing."""
         entry: dict[str, Any] = {
@@ -123,6 +143,19 @@ class Tracer:
         if self._stack:
             self._stack.pop()
         span.duration_us = max(0, end - span.start_us)
+
+    @classmethod
+    def from_dict(cls, roots: list[dict[str, Any]],
+                  process_name: str = "repro") -> "Tracer":
+        """A tracer adopting a span forest exported with :meth:`to_dict`.
+
+        :meth:`merge` only reads the other tracer's roots and process
+        name, so a reconstructed tracer merges (and rebases) exactly
+        like the live worker tracer it was exported from.
+        """
+        tracer = cls(process_name=process_name)
+        tracer.roots = [Span.from_dict(entry) for entry in roots]
+        return tracer
 
     # -- merge --------------------------------------------------------------
 

@@ -175,6 +175,23 @@ class TestTelemetryMerge:
         assert len(merged) == 2
         assert all(name.startswith("merged:") for name in merged)
 
+    def test_trace_id_labels_worker_telemetry(self):
+        """A request-scoped trace id rides the job into the worker and
+        comes back as the telemetry label, so merged span forests are
+        attributable to the originating request."""
+        job = CompileJob("cell", _program(), FULL,
+                         collect_telemetry=True, trace_id="req-42")
+        with BatchCompiler() as driver:
+            result = driver.compile_one(job)
+        assert result.telemetry.label == "req-42"
+
+    def test_label_used_when_no_trace_id(self):
+        job = CompileJob("cell", _program(), FULL,
+                         collect_telemetry=True)
+        with BatchCompiler() as driver:
+            result = driver.compile_one(job)
+        assert result.telemetry.label == "cell"
+
 
 class TestStatsDeterminism:
     def test_stats_keys_sorted(self):

@@ -1,0 +1,97 @@
+"""FlightRecorder: the ring, the filters, and the 5xx dump artifact."""
+
+import json
+
+import pytest
+
+from repro.serve import FlightRecorder, RequestRecord
+
+
+def _record(trace_id="t", status=200, duration_ms=1.0, **kwargs):
+    return RequestRecord(
+        trace_id=trace_id,
+        endpoint=kwargs.pop("endpoint", "run"),
+        method="POST",
+        status=status,
+        started_unix=1_754_000_000.0,
+        duration_ms=duration_ms,
+        **kwargs,
+    )
+
+
+class TestRing:
+    def test_records_get_monotonic_seq(self):
+        recorder = FlightRecorder(capacity=8)
+        for n in range(3):
+            recorder.record(_record(trace_id=f"t{n}"))
+        seqs = [r["seq"] for r in recorder.snapshot()]
+        assert seqs == [3, 2, 1]  # newest first
+
+    def test_capacity_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=2)
+        for n in range(5):
+            recorder.record(_record(trace_id=f"t{n}"))
+        ids = [r["trace_id"] for r in recorder.snapshot()]
+        assert ids == ["t4", "t3"]
+        assert recorder.stats()["recorded"] == 5
+        assert recorder.stats()["size"] == 2
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestSnapshot:
+    def _filled(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record(_record(trace_id="ok-1", status=200))
+        recorder.record(_record(trace_id="shed", status=429))
+        recorder.record(_record(trace_id="boom", status=500,
+                                error="kaput"))
+        recorder.record(_record(trace_id="ok-2", status=200))
+        return recorder
+
+    def test_filter_by_trace_id(self):
+        records = self._filled().snapshot(trace_id="boom")
+        assert len(records) == 1
+        assert records[0]["error"] == "kaput"
+
+    def test_filter_by_min_status(self):
+        records = self._filled().snapshot(min_status=400)
+        assert [r["trace_id"] for r in records] == ["boom", "shed"]
+
+    def test_limit_takes_newest(self):
+        records = self._filled().snapshot(limit=2)
+        assert [r["trace_id"] for r in records] == ["ok-2", "boom"]
+
+    def test_record_shape_rounds_floats(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(_record(duration_ms=1.23456,
+                                stages={"parse": 0.98765}))
+        record = recorder.snapshot()[0]
+        assert record["duration_ms"] == 1.235
+        assert record["stages"]["parse"] == 0.988
+
+
+class TestDump:
+    def test_5xx_dumps_entire_ring_as_jsonl(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=tmp_path)
+        recorder.record(_record(trace_id="before", status=200))
+        path = recorder.record(_record(trace_id="crash", status=500))
+        assert path is not None and path.exists()
+        assert path.name == "flight-00000002-crash.jsonl"
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [l["trace_id"] for l in lines] == ["before", "crash"]
+        assert recorder.stats()["dumps_written"] == 1
+
+    def test_2xx_and_4xx_do_not_dump(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=tmp_path)
+        assert recorder.record(_record(status=200)) is None
+        assert recorder.record(_record(status=429)) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_dump_dir_means_no_artifacts(self):
+        recorder = FlightRecorder(capacity=8)
+        assert recorder.record(_record(status=500)) is None
+        assert recorder.stats()["dumps_written"] == 0

@@ -93,6 +93,53 @@ class TestOpenLoop:
             assert report.completed + report.shed == 20
 
 
+class TestTraceExport:
+    def test_campaign_exports_correlated_span_forest(self, server,
+                                                     tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        config = LoadtestConfig(url=server.base_url, requests=6,
+                                concurrency=2, fuel=FUEL, seed=7,
+                                trace_path=str(trace_path),
+                                trace_samples=3)
+        report = Loadtest(config).run()
+        assert report.ok, report.mismatches
+        assert len(report.trace_ids) == report.completed
+        assert all(tid.startswith("lt-") for tid in report.trace_ids)
+        # At least one sampled trace resolved on the server side.
+        assert report.correlated >= 1
+        assert report.trace_path == str(trace_path)
+        assert report.to_dict()["correlated"] == report.correlated
+
+        document = json.loads(trace_path.read_text())
+        names = [event["name"]
+                 for event in document["traceEvents"]]
+        # One forest holds both halves of the conversation: the
+        # client-side request spans and the server-side span trees
+        # fetched back from /debugz — matched by trace id.
+        assert any(name.startswith("merged:client:lt-")
+                   for name in names)
+        assert any(name.startswith("merged:server:lt-")
+                   for name in names)
+        # The server half carries the worker's compile spans too.
+        assert any(name.startswith("merged:worker:lt-")
+                   for name in names)
+        client_ids = {name.split("client:", 1)[1] for name in names
+                      if name.startswith("merged:client:")}
+        server_ids = {name.split("server:", 1)[1] for name in names
+                      if name.startswith("merged:server:")}
+        assert server_ids and server_ids <= client_ids
+
+    def test_no_trace_path_means_no_correlation_work(self, server):
+        config = LoadtestConfig(url=server.base_url, requests=4,
+                                concurrency=2, fuel=FUEL, seed=8)
+        report = Loadtest(config).run()
+        assert report.ok
+        assert report.correlated == 0
+        assert report.trace_path is None
+
+
 class TestReport:
     def test_percentiles_are_exact(self):
         report = LoadtestReport(mode="closed", offered=4)

@@ -2,6 +2,7 @@
 
 import asyncio
 import json
+import re
 
 import pytest
 
@@ -9,6 +10,7 @@ from repro import api
 from repro.core.config import CompileOptions
 from repro.serve import ServerConfig, ServerThread
 from repro.serve.protocol import run_response, strip_volatile
+from repro.telemetry import parse_prometheus_text, sample_value
 
 FAST = "void main() { int x = 7; sink(x); }"
 
@@ -25,33 +27,38 @@ void main() {
 FUEL = 10_000_000
 
 
-async def http(base_url, method, path, payload=None, timeout=60.0):
+async def http(base_url, method, path, payload=None, timeout=60.0,
+               headers=None, parse_json=True):
     """One request; returns (status, headers dict, parsed JSON body)."""
     host, port = base_url.split("://", 1)[1].split(":")
     reader, writer = await asyncio.open_connection(host, int(port))
     try:
         body = (json.dumps(payload).encode() if payload is not None
                 else b"")
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (headers or {}).items())
         writer.write((
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode() + body)
         await writer.drain()
 
         async def _read():
             status = int((await reader.readline()).split()[1])
-            headers = {}
+            response_headers = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode().partition(":")
-                headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0"))
+                response_headers[name.strip().lower()] = value.strip()
+            length = int(response_headers.get("content-length", "0"))
             raw = await reader.readexactly(length) if length else b"{}"
-            return status, headers, json.loads(raw)
+            parsed = json.loads(raw) if parse_json else raw.decode()
+            return status, response_headers, parsed
 
         return await asyncio.wait_for(_read(), timeout=timeout)
     finally:
@@ -69,9 +76,10 @@ def server():
         yield thread
 
 
-def request(server, method, path, payload=None, timeout=60.0):
+def request(server, method, path, payload=None, timeout=60.0,
+            headers=None, parse_json=True):
     return asyncio.run(http(server.base_url, method, path, payload,
-                            timeout))
+                            timeout, headers, parse_json))
 
 
 class TestRouting:
@@ -236,6 +244,200 @@ class TestBackpressure:
             payload = {"source": FAST, "fuel": FUEL}
             status, _, _ = request(thread, "POST", "/v1/run", payload)
             assert status == 200  # nothing in flight: admitted again
+
+
+class TestTracing:
+    def test_every_response_carries_a_trace_id(self, server):
+        status, headers, body = request(server, "POST", "/v1/run",
+                                        {"source": FAST, "fuel": FUEL})
+        assert status == 200
+        trace_id = headers["x-repro-trace-id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+        assert body["trace_id"] == trace_id
+
+    def test_inbound_trace_id_is_honoured(self, server):
+        status, headers, body = request(
+            server, "POST", "/v1/run", {"source": FAST, "fuel": FUEL},
+            headers={"X-Repro-Trace-Id": "caller-chose.this-1"})
+        assert status == 200
+        assert headers["x-repro-trace-id"] == "caller-chose.this-1"
+        assert body["trace_id"] == "caller-chose.this-1"
+
+    def test_invalid_inbound_trace_id_is_replaced(self, server):
+        _, headers, _ = request(
+            server, "GET", "/healthz",
+            headers={"X-Repro-Trace-Id": "spaces are not legal"})
+        assert re.fullmatch(r"[0-9a-f]{16}",
+                            headers["x-repro-trace-id"])
+
+    def test_error_responses_carry_the_trace_id(self, server):
+        status, headers, body = request(
+            server, "GET", "/nope",
+            headers={"X-Repro-Trace-Id": "lost-404"})
+        assert status == 404
+        assert headers["x-repro-trace-id"] == "lost-404"
+        assert body["trace_id"] == "lost-404"
+
+    def test_debugz_resolves_a_trace_to_stages_and_spans(self, server):
+        request(server, "POST", "/v1/run",
+                {"source": FAST, "fuel": FUEL},
+                headers={"X-Repro-Trace-Id": "find-me-1"})
+        status, _, body = request(server, "GET", "/debugz?trace=find-me-1")
+        assert status == 200
+        assert len(body["records"]) == 1
+        record = body["records"][0]
+        assert record["endpoint"] == "run"
+        assert record["status"] == 200
+        # The request's journey is visible stage by stage...
+        for stage in ("request", "admission", "parse", "coalesce",
+                      "execute"):
+            assert stage in record["stages"]
+        # ...and the worker's span forest was merged into the request's.
+        span_names = set()
+
+        def _collect(spans):
+            for span in spans:
+                span_names.add(span["name"])
+                _collect(span.get("children", []))
+
+        _collect(record["spans"])
+        assert "merged:worker:find-me-1" in span_names
+        assert "work:run" in span_names
+
+    def test_debugz_filters_by_status(self, server):
+        request(server, "GET", "/definitely-not-a-route")
+        status, _, body = request(server, "GET", "/debugz?errors=1")
+        assert status == 200
+        assert body["records"]
+        assert all(r["status"] >= 400 for r in body["records"])
+
+
+class TestErrorAccounting:
+    def test_error_kinds_are_labelled(self):
+        config = ServerConfig(port=0, workers=1, queue_limit=4)
+        with ServerThread(config) as thread:
+            request(thread, "GET", "/nope")
+            request(thread, "POST", "/v1/run",
+                    {"source": "void main() { nope"})
+            request(thread, "POST", "/v1/run", {"source": 42})
+            metrics = thread.server.metrics
+            assert metrics.counter_value("serve.errors",
+                                         kind="not_found") == 1
+            assert metrics.counter_value("serve.errors",
+                                         kind="protocol") == 2
+
+    def test_debug_fail_is_inert_without_the_hook(self, server):
+        status, _, _ = request(server, "POST", "/v1/run",
+                               {"source": FAST, "fuel": FUEL,
+                                "debug_fail": True})
+        assert status == 200
+
+
+class TestFlightDump:
+    def test_forced_500_dumps_the_ring_with_stage_timings(self, tmp_path):
+        config = ServerConfig(port=0, workers=1, queue_limit=4,
+                              debug_hooks=True, flight_dir=tmp_path)
+        with ServerThread(config) as thread:
+            # A healthy request first, so the dump proves the whole
+            # ring is preserved, not just the failing record.
+            request(thread, "POST", "/v1/run",
+                    {"source": FAST, "fuel": FUEL},
+                    headers={"X-Repro-Trace-Id": "healthy-1"})
+            status, _, body = request(
+                thread, "POST", "/v1/run",
+                {"source": FAST, "fuel": FUEL, "debug_fail": True},
+                headers={"X-Repro-Trace-Id": "doomed-1"})
+            assert status == 500
+            assert "debug_fail" in body["error"]
+            assert body["trace_id"] == "doomed-1"
+            assert thread.server.metrics.counter_value(
+                "serve.errors", kind="internal") == 1
+
+            dumps = sorted(tmp_path.glob("flight-*.jsonl"))
+            assert len(dumps) == 1
+            assert dumps[0].name.endswith("-doomed-1.jsonl")
+            records = [json.loads(line)
+                       for line in dumps[0].read_text().splitlines()]
+            assert [r["trace_id"] for r in records] == [
+                "healthy-1", "doomed-1",
+            ]
+            doomed = records[-1]
+            assert doomed["status"] == 500
+            # The hook fires after parse, so the dump shows exactly how
+            # far the request got before it died.
+            assert doomed["stages"]["parse"] >= 0
+            assert "execute" not in doomed["stages"]
+
+
+class TestPrometheusExposition:
+    def test_format_query_parameter_wins(self, server):
+        request(server, "POST", "/v1/run", {"source": FAST, "fuel": FUEL})
+        status, headers, text = request(
+            server, "GET", "/metricsz?format=prometheus",
+            parse_json=False)
+        assert status == 200
+        assert headers["content-type"].startswith(
+            "text/plain; version=0.0.4")
+        samples = parse_prometheus_text(text)
+        assert sample_value(samples, "serve_requests_total",
+                            endpoint="run") >= 1
+        # Histogram families export as summaries with quantile labels.
+        assert sample_value(samples, "serve_latency_ms",
+                            endpoint="run", quantile="0.95") is not None
+        assert sample_value(samples, "serve_latency_ms_count",
+                            endpoint="run") >= 1
+        # SLO and flight state ride along as gauges for scrapers.
+        assert sample_value(samples, "serve_slo_ok") is not None
+        assert sample_value(samples, "serve_uptime_s") > 0
+
+    def test_accept_header_negotiates_text(self, server):
+        status, headers, text = request(
+            server, "GET", "/metricsz", parse_json=False,
+            headers={"Accept": "text/plain"})
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        parse_prometheus_text(text)  # must be valid exposition text
+
+    def test_json_remains_the_default(self, server):
+        status, headers, body = request(server, "GET", "/metricsz")
+        assert status == 200
+        assert headers["content-type"].startswith("application/json")
+        assert set(body) >= {"counters", "gauges", "histograms", "cache",
+                             "slo", "flight", "server"}
+
+    def test_explicit_json_format_overrides_accept(self, server):
+        status, _, body = request(
+            server, "GET", "/metricsz?format=json",
+            headers={"Accept": "text/plain"})
+        assert status == 200
+        assert "counters" in body
+
+
+class TestHealthz:
+    def test_reports_identity_and_slo(self, server):
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["started_unix"] > 0
+        assert body["uptime_s"] >= 0
+        assert re.fullmatch(r"[0-9a-f]{16}", body["config_fingerprint"])
+        assert body["slo"]["window_s"] > 0
+        assert "burn_rate" in body["slo"]
+        assert body["flight"]["capacity"] > 0
+
+    def test_degrades_but_stays_200_after_5xx_burst(self, tmp_path):
+        config = ServerConfig(port=0, workers=1, queue_limit=4,
+                              debug_hooks=True,
+                              slo_target_error_rate=0.01)
+        with ServerThread(config) as thread:
+            for _ in range(3):
+                request(thread, "POST", "/v1/run",
+                        {"source": FAST, "fuel": FUEL,
+                         "debug_fail": True})
+            status, _, body = request(thread, "GET", "/healthz")
+            assert status == 200  # liveness: never fail the probe
+            assert body["status"] == "degraded"
+            assert body["slo"]["ok"] is False
+            assert body["slo"]["burn_rate"] > 1.0
 
 
 class TestKeepAlive:

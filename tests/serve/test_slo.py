@@ -1,0 +1,109 @@
+"""SloTracker: windowed percentiles, burn rate, and shed accounting."""
+
+from repro.serve import SloConfig, SloTracker
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _tracker(**kwargs):
+    clock = _Clock()
+    return SloTracker(SloConfig(**kwargs), clock=clock), clock
+
+
+class TestEmptyWindow:
+    def test_idle_server_is_healthy(self):
+        tracker, _ = _tracker()
+        snapshot = tracker.snapshot()
+        assert snapshot["ok"] is True
+        assert snapshot["requests"] == 0
+        assert snapshot["error_rate"] == 0.0
+        assert snapshot["burn_rate"] == 0.0
+
+
+class TestLatency:
+    def test_percentiles_are_exact_over_the_window(self):
+        tracker, _ = _tracker(target_p95_ms=500.0)
+        for ms in range(1, 101):  # 1..100 ms
+            tracker.observe(float(ms))
+        latency = tracker.snapshot()["latency_ms"]
+        assert latency["p50"] == 50.0
+        assert latency["p95"] == 95.0
+        assert latency["p99"] == 99.0
+
+    def test_p95_breach_flips_the_verdict(self):
+        tracker, _ = _tracker(target_p95_ms=10.0)
+        for _ in range(20):
+            tracker.observe(50.0)
+        snapshot = tracker.snapshot()
+        assert snapshot["latency_ok"] is False
+        assert snapshot["ok"] is False
+        assert snapshot["errors_ok"] is True
+
+
+class TestErrorBudget:
+    def test_burn_rate_is_error_rate_over_budget(self):
+        tracker, _ = _tracker(target_error_rate=0.01)
+        for n in range(100):
+            tracker.observe(1.0, error=(n < 2))  # 2% errors
+        snapshot = tracker.snapshot()
+        assert snapshot["error_rate"] == 0.02
+        assert snapshot["burn_rate"] == 2.0
+        assert snapshot["errors_ok"] is False
+        assert snapshot["error_budget_remaining"] == 0.0
+
+    def test_under_budget_is_healthy(self):
+        tracker, _ = _tracker(target_error_rate=0.05)
+        for n in range(100):
+            tracker.observe(1.0, error=(n == 0))  # 1% errors
+        snapshot = tracker.snapshot()
+        assert snapshot["burn_rate"] == 0.2
+        assert snapshot["ok"] is True
+
+
+class TestShedding:
+    def test_shed_requests_are_not_slo_errors(self):
+        """Shedding protects the SLO; counting 429s as failures would
+        penalize the mechanism that keeps latency honest."""
+        tracker, _ = _tracker(target_error_rate=0.01)
+        for _ in range(50):
+            tracker.observe(1.0)
+        for _ in range(50):
+            tracker.observe(0.1, shed=True)
+        snapshot = tracker.snapshot()
+        assert snapshot["requests"] == 100
+        assert snapshot["served"] == 50
+        assert snapshot["shed"] == 50
+        assert snapshot["error_rate"] == 0.0
+        assert snapshot["ok"] is True
+
+    def test_shed_latencies_excluded_from_percentiles(self):
+        tracker, _ = _tracker()
+        for _ in range(10):
+            tracker.observe(100.0)
+        for _ in range(90):
+            tracker.observe(0.01, shed=True)  # sheds answer instantly
+        assert tracker.snapshot()["latency_ms"]["p50"] == 100.0
+
+
+class TestWindowing:
+    def test_observations_age_out(self):
+        tracker, clock = _tracker(window_s=60.0)
+        tracker.observe(1000.0, error=True)
+        clock.now = 61.0
+        tracker.observe(1.0)
+        snapshot = tracker.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["errors"] == 0
+        assert snapshot["latency_ms"]["p95"] == 1.0
+
+    def test_observations_inside_window_survive(self):
+        tracker, clock = _tracker(window_s=60.0)
+        tracker.observe(5.0)
+        clock.now = 59.0
+        assert tracker.snapshot()["requests"] == 1

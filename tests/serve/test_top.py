@@ -1,0 +1,126 @@
+"""``repro top``: sampling a live server and rendering the dashboard."""
+
+import json
+
+import pytest
+
+from repro.serve import ServerConfig, ServerThread, TopClient, TopConfig
+from repro.serve.top import _family_total, render, run_top
+from tests.serve.test_server import FAST, FUEL, request
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(port=0, workers=2,
+                                   queue_limit=4)) as thread:
+        request(thread, "POST", "/v1/run", {"source": FAST, "fuel": FUEL},
+                headers={"X-Repro-Trace-Id": "top-seed-1"})
+        request(thread, "GET", "/nope")  # one 404 for the error counter
+        yield thread
+
+
+def _client(server, **overrides):
+    return TopClient(TopConfig(url=server.base_url, **overrides))
+
+
+class TestFamilyTotal:
+    def test_sums_all_labelled_series(self):
+        counters = {
+            "serve.requests{endpoint=run}": 3,
+            "serve.requests{endpoint=compile}": 2,
+            "serve.requests": 1,
+            "serve.requests_other": 99,  # different family, not summed
+        }
+        assert _family_total(counters, "serve.requests") == 6.0
+
+    def test_missing_family_is_zero(self):
+        assert _family_total({}, "serve.requests") == 0.0
+
+
+class TestSampling:
+    def test_sample_reduces_the_three_endpoints(self, server):
+        sample = _client(server).sample()
+        assert sample.ok is True
+        assert sample.error is None
+        assert sample.totals["requests"] >= 2
+        assert sample.totals["errors"] >= 1
+        assert sample.health["queue_limit"] == 4
+        assert sample.slo["window_s"] > 0
+        assert sample.flight["capacity"] > 0
+        assert sample.queue_depth == 0
+
+    def test_hottest_rows_come_from_the_flight_ring(self, server):
+        sample = _client(server).sample()
+        ids = [row["trace_id"] for row in sample.hottest]
+        assert "top-seed-1" in ids
+        durations = [row["duration_ms"] for row in sample.hottest]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_rates_need_two_polls(self, server):
+        client = _client(server)
+        first = client.sample()
+        assert first.rates == {"requests": 0.0, "errors": 0.0,
+                               "shed": 0.0, "coalesced": 0.0}
+        request(server, "POST", "/v1/run", {"source": FAST, "fuel": FUEL})
+        second = client.sample(previous=first)
+        assert second.rates["requests"] > 0.0
+
+    def test_unreachable_server_reports_not_crashes(self):
+        client = TopClient(TopConfig(url="http://127.0.0.1:9",
+                                     timeout=0.5))
+        sample = client.sample()
+        assert sample.ok is False
+        assert sample.error
+
+    def test_to_dict_is_json_serializable(self, server):
+        document = json.loads(json.dumps(_client(server)
+                                         .sample().to_dict()))
+        assert document["ok"] is True
+
+
+class TestRendering:
+    def test_render_shows_the_operational_picture(self, server):
+        config = TopConfig(url=server.base_url)
+        text = render(TopClient(config).sample(), config)
+        assert server.base_url in text
+        assert "throughput" in text
+        assert "SLO" in text
+        assert "p95" in text
+        assert "top-seed-1" in text
+
+    def test_render_unreachable(self):
+        config = TopConfig(url="http://127.0.0.1:9")
+        client = TopClient(TopConfig(url="http://127.0.0.1:9",
+                                     timeout=0.5))
+        text = render(client.sample(), config)
+        assert "unreachable" in text
+
+
+class TestOnceMode:
+    def _run(self, config, **kwargs):
+        chunks = []
+
+        def write(*args, **print_kwargs):
+            chunks.extend(str(a) for a in args)
+
+        code = run_top(config, once=True, write=write, **kwargs)
+        return code, "".join(chunks)
+
+    def test_once_json_emits_one_document(self, server):
+        code, output = self._run(TopConfig(url=server.base_url),
+                                 as_json=True)
+        assert code == 0
+        document = json.loads(output)
+        assert document["ok"] is True
+        assert document["totals"]["requests"] >= 2
+
+    def test_once_human_readable(self, server):
+        code, output = self._run(TopConfig(url=server.base_url))
+        assert code == 0
+        assert "repro top" in output
+
+    def test_once_exit_code_on_unreachable(self):
+        code, output = self._run(TopConfig(url="http://127.0.0.1:9",
+                                           timeout=0.5), as_json=True)
+        assert code == 1
+        assert json.loads(output)["ok"] is False

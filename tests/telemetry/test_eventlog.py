@@ -1,0 +1,99 @@
+"""JsonlLogger: record shape, severities, and size-based rotation."""
+
+import json
+
+import pytest
+
+from repro.telemetry import SEVERITIES, JsonlLogger
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestRecords:
+    def test_one_json_object_per_line(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "log.jsonl", clock=_Clock())
+        logger.info("request", status=200, trace_id="abc")
+        logger.error("request", status=500)
+        lines = (tmp_path / "log.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["severity"] == "info"
+        assert first["event"] == "request"
+        assert first["status"] == 200
+        assert first["trace_id"] == "abc"
+        assert first["ts"] == 1001.0
+
+    def test_severity_helpers_cover_all_levels(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "log.jsonl")
+        for severity in SEVERITIES:
+            getattr(logger, severity)("tick")
+        events = logger.read_events()
+        assert [e["severity"] for e in events] == list(SEVERITIES)
+
+    def test_unknown_severity_rejected(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "log.jsonl")
+        with pytest.raises(ValueError, match="severity"):
+            logger.log("fatal", "boom")
+
+    def test_non_serializable_fields_stringify(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "log.jsonl")
+        logger.info("request", path=tmp_path)  # Path is not JSON-native
+        assert logger.read_events()[0]["path"] == str(tmp_path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "deep" / "nested" / "log.jsonl")
+        logger.info("tick")
+        assert logger.read_events()
+
+
+class TestRotation:
+    def _filled(self, tmp_path, *, max_bytes=200, backups=2):
+        logger = JsonlLogger(tmp_path / "log.jsonl",
+                             max_bytes=max_bytes, backups=backups)
+        for n in range(20):
+            logger.info("tick", n=n, padding="x" * 40)
+        return logger
+
+    def test_active_file_stays_bounded(self, tmp_path):
+        logger = self._filled(tmp_path)
+        assert logger.path.stat().st_size <= logger.max_bytes
+
+    def test_rotated_generations_exist_and_are_bounded(self, tmp_path):
+        logger = self._filled(tmp_path, backups=2)
+        assert logger.rotated_path(1).exists()
+        assert not logger.rotated_path(3).exists()
+
+    def test_rotated_files_are_valid_jsonl(self, tmp_path):
+        logger = self._filled(tmp_path)
+        for line in logger.rotated_path(1).read_text().splitlines():
+            json.loads(line)
+
+    def test_read_events_includes_rotated_oldest_first(self, tmp_path):
+        logger = self._filled(tmp_path)
+        events = logger.read_events(include_rotated=True)
+        ns = [e["n"] for e in events]
+        assert ns == sorted(ns)
+        # Rotation keeps only the newest generations, so the tail
+        # (the most recent events) must always survive.
+        assert ns[-1] == 19
+
+    def test_zero_backups_truncates_instead_of_rotating(self, tmp_path):
+        logger = JsonlLogger(tmp_path / "log.jsonl", max_bytes=120,
+                             backups=0)
+        for n in range(12):
+            logger.info("tick", n=n, padding="y" * 30)
+        assert not logger.rotated_path(1).exists()
+        assert logger.path.stat().st_size <= logger.max_bytes
+
+    def test_bad_limits_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlLogger(tmp_path / "l", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlLogger(tmp_path / "l", backups=-1)

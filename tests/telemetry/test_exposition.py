@@ -1,0 +1,120 @@
+"""Prometheus exposition: rendering, grammar, and the parser gate."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    prometheus_name,
+    render_prometheus,
+    sample_value,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", endpoint="run").inc(3)
+    registry.counter("serve.requests", endpoint="compile").inc()
+    registry.counter("serve.shed").inc(2)
+    registry.gauge("serve.queue_depth").set(4)
+    histogram = registry.histogram("serve.latency_ms", endpoint="run")
+    for value in (1.0, 2.0, 4.0, 8.0, 100.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("serve.latency_ms") == "serve_latency_ms"
+
+    def test_leading_digit_is_prefixed(self):
+        assert prometheus_name("9lives")[0] not in "0123456789"
+
+    def test_already_valid_name_unchanged(self):
+        assert prometheus_name("process_cpu_seconds") == \
+            "process_cpu_seconds"
+
+
+class TestRendering:
+    def test_counters_render_with_total_suffix_and_type(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_requests_total{endpoint="run"} 3' in text
+        assert 'serve_requests_total{endpoint="compile"} 1' in text
+        assert "serve_shed_total 2" in text
+
+    def test_gauges_render_verbatim(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE serve_queue_depth gauge" in text
+        assert "serve_queue_depth 4" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE serve_latency_ms summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.99"' in text
+        assert 'serve_latency_ms_count{endpoint="run"} 5' in text
+        assert 'serve_latency_ms_sum{endpoint="run"} 115' in text
+
+    def test_summary_quantiles_reuse_histogram_interpolation(self):
+        registry = _registry()
+        histogram = registry.histogram("serve.latency_ms", endpoint="run")
+        samples = parse_prometheus_text(render_prometheus(registry))
+        for q in (0.5, 0.95, 0.99):
+            rendered = sample_value(samples, "serve_latency_ms",
+                                    endpoint="run", quantile=format(q, "g"))
+            assert rendered == pytest.approx(histogram.quantile(q))
+
+    def test_output_is_deterministic(self):
+        assert render_prometheus(_registry()) == \
+            render_prometheus(_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        samples = parse_prometheus_text(text)
+        assert samples[0]["labels"]["path"] == 'a"b\\c\nd'
+
+
+class TestParser:
+    def test_round_trip(self):
+        registry = _registry()
+        samples = parse_prometheus_text(render_prometheus(registry))
+        assert sample_value(samples, "serve_requests_total",
+                            endpoint="run") == 3.0
+        assert sample_value(samples, "serve_queue_depth") == 4.0
+
+    def test_comments_and_blanks_ignored(self):
+        samples = parse_prometheus_text(
+            "# HELP x nothing\n\n# TYPE x counter\nx_total 1\n")
+        assert len(samples) == 1
+
+    def test_malformed_sample_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus_text("ok 1\n!!! not a sample\n")
+
+    def test_malformed_labels_raise(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_prometheus_text('c{key=unquoted} 1\n')
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(ValueError, match="value"):
+            parse_prometheus_text("c nope\n")
+
+    def test_special_values_parse(self):
+        samples = parse_prometheus_text("a NaN\nb +Inf\nc -Inf\n")
+        assert math.isnan(samples[0]["value"])
+        assert samples[1]["value"] == math.inf
+        assert samples[2]["value"] == -math.inf
+
+    def test_sample_value_requires_exact_label_match(self):
+        samples = parse_prometheus_text('c{a="1",b="2"} 5\n')
+        assert sample_value(samples, "c", a="1", b="2") == 5.0
+        assert sample_value(samples, "c", a="1") is None
+        assert sample_value(samples, "missing") is None

@@ -167,6 +167,104 @@ class TestMergeRebase:
         parent.merge(Tracer(clock_ns=_FakeClock(), process_name="idle"))
         assert parent.roots == []
 
+    def test_empty_worker_into_busy_parent_is_noop(self):
+        parent = Tracer(clock_ns=_FakeClock())
+        with parent.span("work"):
+            pass
+        parent.merge(Tracer(clock_ns=_FakeClock(), process_name="idle"))
+        assert [root.name for root in parent.roots] == ["work"]
+
+    def test_zero_offset_when_worker_ends_at_merge_point(self):
+        """A worker whose timeline already ends exactly 'now' on the
+        parent clock needs no shift at all."""
+        parent_clock = _FakeClock()
+        parent = Tracer(clock_ns=parent_clock)
+        worker = self._worker("w", start_ns=0)
+        # Advance the parent so now_us == the worker's last end (3ms of
+        # work + the clock reads the worker itself consumed).
+        last_end = (worker.roots[0].start_us
+                    + worker.roots[0].duration_us)
+        parent_clock.now_ns = parent._epoch_ns + last_end * 1000 - 1000
+        original_start = worker.roots[0].start_us
+        parent.merge(worker)
+        merged_job = parent.roots[-1].children[0]
+        assert merged_job.start_us == original_start  # offset was 0
+
+    def test_negative_offset_clamped_to_parent_epoch(self):
+        """A worker whose timeline extends past the parent's 'now'
+        would need a negative shift; the clamp stops it at the parent's
+        epoch so no span can land before time zero."""
+        parent = Tracer(clock_ns=_FakeClock())  # now_us ~ 0
+        worker = self._worker("w", start_ns=0)  # spans span ~3ms
+        first_start = worker.roots[0].start_us
+        parent.merge(worker)
+        merged_job = parent.roots[-1].children[0]
+        # offset = max(now - last_end, -first_start) = -first_start
+        assert merged_job.start_us == 0
+        assert first_start >= 0
+        for event in parent.to_chrome_events():
+            assert event["ts"] >= 0
+
+    def test_merge_into_tracer_with_open_spans(self):
+        """Merging while the parent has spans still open must append
+        the worker forest as a new root — never nest it under the open
+        span — and leave the parent's stack intact."""
+        parent = Tracer(clock_ns=_FakeClock())
+        worker = self._worker("w", start_ns=42)
+        with parent.span("request"):
+            with parent.span("execute"):
+                parent.merge(worker)
+        assert [root.name for root in parent.roots] == [
+            "request", "merged:w",
+        ]
+        request = parent.roots[0]
+        assert [c.name for c in request.children] == ["execute"]
+        assert request.duration_us >= 0
+        # The stack fully unwound: a new span is a fresh root.
+        with parent.span("after"):
+            pass
+        assert parent.roots[-1].name == "after"
+
+
+class TestFromDict:
+    def _worker(self):
+        clock = _FakeClock()
+        tracer = Tracer(clock_ns=clock, process_name="w")
+        with tracer.span("job", category="worker", trace_id="t-1"):
+            clock.now_ns += 2_000_000
+            with tracer.span("inner"):
+                clock.now_ns += 1_000_000
+        return tracer
+
+    def test_round_trip_preserves_forest(self):
+        original = self._worker()
+        rebuilt = Tracer.from_dict(original.to_dict(), process_name="w")
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.process_name == "w"
+
+    def test_json_round_trip(self):
+        original = self._worker()
+        exported = json.loads(json.dumps(original.to_dict()))
+        rebuilt = Tracer.from_dict(exported)
+        assert rebuilt.to_dict() == original.to_dict()
+
+    def test_reconstructed_tracer_merges_like_a_live_one(self):
+        worker = self._worker()
+        live_parent = Tracer(clock_ns=_FakeClock())
+        live_parent.merge(self._worker())
+        rebuilt_parent = Tracer(clock_ns=_FakeClock())
+        rebuilt_parent.merge(Tracer.from_dict(worker.to_dict(),
+                                              process_name="w"))
+        assert (rebuilt_parent.to_dict()
+                == live_parent.to_dict())
+
+    def test_missing_fields_get_defaults(self):
+        span = Tracer.from_dict([{"name": "x"}]).roots[0]
+        assert span.category == "pipeline"
+        assert span.start_us == 0
+        assert span.duration_us == 0
+        assert span.children == []
+
 
 class TestChromeExport:
     def _trace(self):

@@ -104,3 +104,59 @@ class TestRejectsCorruption:
             del doc["decisions"][0]["verdict"]
             problems = validate_telemetry_document(doc)
             assert any("decisions[0]" in p for p in problems)
+
+    def test_duplicate_counter_label_set_flagged(self):
+        """Two renderings of the same (family, label set) mean an
+        exporter double-counted a series; the registry always sorts
+        labels, so any permutation duplicate is corruption."""
+        doc = self._doc()
+        doc["metrics"]["counters"]["dup{a=1,b=2}"] = 1
+        doc["metrics"]["counters"]["dup{b=2,a=1}"] = 2
+        problems = validate_telemetry_document(doc)
+        assert any("duplicate label set" in p for p in problems)
+
+    def test_distinct_label_sets_are_not_duplicates(self):
+        doc = self._doc()
+        doc["metrics"]["counters"]["fam{a=1}"] = 1
+        doc["metrics"]["counters"]["fam{a=2}"] = 2
+        doc["metrics"]["counters"]["fam"] = 3
+        assert validate_telemetry_document(doc) == []
+
+    def test_child_extending_past_parent_flagged(self):
+        doc = self._doc()
+        doc["spans"] = [{
+            "name": "parent", "category": "serve",
+            "start_us": 0, "duration_us": 100,
+            "children": [{
+                "name": "runaway", "category": "serve",
+                "start_us": 50, "duration_us": 100,  # ends at 150 > 100
+            }],
+        }]
+        problems = validate_telemetry_document(doc)
+        assert any("extends past its parent" in p for p in problems)
+
+    def test_deeply_nested_extent_violation_flagged(self):
+        doc = self._doc()
+        doc["spans"] = [{
+            "name": "a", "start_us": 0, "duration_us": 100,
+            "children": [{
+                "name": "b", "start_us": 10, "duration_us": 80,
+                "children": [{
+                    "name": "c", "start_us": 20, "duration_us": 90,
+                }],
+            }],
+        }]
+        problems = validate_telemetry_document(doc)
+        assert any("extends past its parent" in p
+                   and "children[0].children[0]" in p for p in problems)
+
+    def test_contained_children_accepted(self):
+        doc = self._doc()
+        doc["spans"] = [{
+            "name": "parent", "start_us": 0, "duration_us": 100,
+            "children": [
+                {"name": "a", "start_us": 0, "duration_us": 40},
+                {"name": "b", "start_us": 40, "duration_us": 60},
+            ],
+        }]
+        assert validate_telemetry_document(doc) == []

@@ -189,7 +189,7 @@ class TestDeprecatedAliases:
     def test_top_level_reexports(self):
         assert repro.compile_program is not None
         assert repro.run_workload is not None
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_new_engines_do_not_warn(self):
         from repro.core import compile_ir
